@@ -1,0 +1,89 @@
+// Command ebcpexp regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	ebcpexp -exp table1
+//	ebcpexp -exp fig4,fig5
+//	ebcpexp -exp all -scale 0.2      # 20%-length windows, much faster
+//	ebcpexp -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ebcp/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		scale   = flag.Float64("scale", 1.0, "scale the warm/measure windows (1.0 = paper's 150M+100M)")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		format  = flag.String("format", "text", "output format: text | csv | markdown")
+		outFile = flag.String("o", "", "write reports to a file instead of stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "ebcpexp: -scale must be in (0, 1]")
+		os.Exit(2)
+	}
+
+	opts := exp.Options{
+		Warm:    uint64(150e6 * *scale),
+		Measure: uint64(100e6 * *scale),
+	}
+	if *verbose {
+		opts.Progress = os.Stderr
+	}
+
+	var todo []exp.Experiment
+	if *which == "all" {
+		todo = exp.All()
+	} else {
+		for _, id := range strings.Split(*which, ",") {
+			e, err := exp.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	out := os.Stdout
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	session := exp.NewSession(opts)
+	for _, e := range todo {
+		start := time.Now()
+		rep := e.Run(session)
+		if err := rep.RenderFormat(out, *format); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *format == "text" || *format == "" {
+			fmt.Fprintf(out, "  [%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total simulations executed: %d\n", session.Runs())
+}

@@ -1,0 +1,139 @@
+// Command ebcpsim runs one simulation: a benchmark, a prefetcher and a
+// system configuration, printing the measured statistics (and the
+// improvement over a no-prefetching baseline unless -nobase is set).
+//
+// Examples:
+//
+//	ebcpsim -workload SPECjbb2005 -prefetcher ebcp -warm 20e6 -measure 20e6
+//	ebcpsim -workload Database -prefetcher ghb-large -degree 6
+//	ebcpsim -workload TPC-W -prefetcher ebcp -degree 16 -read-gbps 3.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ebcp"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "Database", "benchmark: Database | TPC-W | SPECjbb2005 | SPECjAppServer2004")
+		pfName       = flag.String("prefetcher", "ebcp", "prefetcher: none | ebcp | ebcp-minus | ghb-small | ghb-large | tcp-small | tcp-large | stream | sms | solihin-3,2 | solihin-6,1")
+		degree       = flag.Int("degree", 8, "prefetch degree (EBCP/GHB/TCP/stream)")
+		tableEntries = flag.Int("table-entries", 1<<20, "correlation table entries (EBCP)")
+		pbEntries    = flag.Int("pb", 64, "prefetch buffer entries")
+		warm         = flag.Float64("warm", 150e6, "warmup instructions")
+		measure      = flag.Float64("measure", 100e6, "measured instructions")
+		readGBps     = flag.Float64("read-gbps", 9.6, "memory read bandwidth")
+		writeGBps    = flag.Float64("write-gbps", 4.8, "memory write bandwidth")
+		noBase       = flag.Bool("nobase", false, "skip the baseline run")
+	)
+	flag.Parse()
+
+	bench, err := ebcp.BenchmarkByName(*workloadName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := ebcp.DefaultSystem(bench)
+	cfg.WarmInsts = uint64(*warm)
+	cfg.MeasureInsts = uint64(*measure)
+	cfg.PBEntries = *pbEntries
+	cfg.Mem.ReadGBps = *readGBps
+	cfg.Mem.WriteGBps = *writeGBps
+
+	pf, err := buildPrefetcher(*pfName, *degree, *tableEntries)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+	printResult(bench.Name, res)
+	if e, ok := pf.(*ebcp.EBCP); ok {
+		printEBCP(e)
+	}
+
+	if !*noBase && pf.Name() != "none" {
+		base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+		fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.CPI(), base.EPKI())
+		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base))
+		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base))
+	}
+}
+
+func buildPrefetcher(name string, degree, tableEntries int) (ebcp.Prefetcher, error) {
+	ecfg := ebcp.TunedEBCP()
+	ecfg.Degree = degree
+	if degree > ecfg.TableMaxAddrs {
+		ecfg.TableMaxAddrs = degree
+	}
+	ecfg.TableEntries = tableEntries
+	switch strings.ToLower(name) {
+	case "none", "baseline":
+		return ebcp.Baseline(), nil
+	case "ebcp":
+		return ebcp.NewEBCP(ecfg), nil
+	case "ebcp-minus":
+		return ebcp.NewEBCPMinus(ecfg), nil
+	case "ghb-small":
+		return ebcp.NewGHBSmall(degree), nil
+	case "ghb-large":
+		return ebcp.NewGHBLarge(degree), nil
+	case "tcp-small":
+		return ebcp.NewTCPSmall(degree), nil
+	case "tcp-large":
+		return ebcp.NewTCPLarge(degree), nil
+	case "stream":
+		return ebcp.NewStream(degree), nil
+	case "sms":
+		return ebcp.NewSMS(), nil
+	case "solihin-3,2", "solihin32":
+		return ebcp.NewSolihin(3, 2), nil
+	case "solihin-6,1", "solihin61":
+		return ebcp.NewSolihin(6, 1), nil
+	}
+	return nil, fmt.Errorf("unknown prefetcher %q", name)
+}
+
+func printResult(bench string, r ebcp.Result) {
+	fmt.Printf("%s / %s\n", bench, r.Prefetcher)
+	fmt.Printf("  instructions      %d\n", r.Core.Instructions)
+	fmt.Printf("  cycles            %d\n", r.Core.Cycles)
+	fmt.Printf("  CPI               %.3f\n", r.CPI())
+	fmt.Printf("  epochs/1000 insts %.3f\n", r.EPKI())
+	fmt.Printf("  L2 inst MPKI      %.3f\n", r.IFetchMPKI())
+	fmt.Printf("  L2 load MPKI      %.3f\n", r.LoadMPKI())
+	fmt.Printf("  overlap           %.3f\n", r.Core.Overlap())
+	fmt.Printf("  on-chip cycles    %d  stall cycles %d\n", r.Core.OnChipCycles, r.Core.StallCycles)
+	fmt.Printf("  epoch closes      window %d dep %d ser %d ifetch %d branch %d mshr %d drain %d\n",
+		r.Core.Closes[0], r.Core.Closes[1], r.Core.Closes[2], r.Core.Closes[3], r.Core.Closes[4], r.Core.Closes[5], r.Core.Closes[6])
+	fmt.Printf("  stall by reason   window %d dep %d ser %d ifetch %d branch %d mshr %d drain %d\n",
+		r.Core.StallByReason[0], r.Core.StallByReason[1], r.Core.StallByReason[2], r.Core.StallByReason[3], r.Core.StallByReason[4], r.Core.StallByReason[5], r.Core.StallByReason[6])
+	if r.Prefetcher != "none" {
+		fmt.Printf("  coverage          %.3f\n", r.Coverage())
+		fmt.Printf("  accuracy          %.3f\n", r.Accuracy())
+		fmt.Printf("  prefetches issued %d (dropped %d, redundant %d)\n",
+			r.PF.Issued, r.PF.Dropped, r.PF.Redundant)
+		fmt.Printf("  PB hits           %d full, %d partial\n", r.PB.Hits, r.PB.PartialHits)
+		fmt.Printf("  table reads       %d, writes %d\n", r.PF.TableReads, r.PF.TableWrites)
+	}
+	fmt.Printf("  mem reads         demand %d, table %d, prefetch %d\n",
+		r.Mem.PerClass[0].Reads, r.Mem.PerClass[1].Reads, r.Mem.PerClass[2].Reads)
+	fmt.Printf("  mem drops         table-read %d prefetch %d table-write %d\n",
+		r.Mem.PerClass[1].ReadDrops, r.Mem.PerClass[2].ReadDrops, r.Mem.PerClass[3].WriteDrops)
+}
+
+func printEBCP(e *ebcp.EBCP) {
+	st := e.Stats()
+	ts := e.Table().Stats()
+	fmt.Printf("  EBCP boundaries   %d (real %d), lookups %d, matches %d (%.2f)\n",
+		st.Boundaries, st.RealBoundaries, st.Lookups, st.Matches,
+		float64(st.Matches)/float64(max(st.Lookups, 1)))
+	fmt.Printf("  EBCP trainings    %d (lost %d), LRU touches %d\n", st.Trainings, st.LostUpdates, st.LRUTouches)
+	fmt.Printf("  table             allocs %d conflicts %d updates %d occupancy %d\n",
+		ts.Allocations, ts.ConflictEvictions, ts.Updates, e.Table().Occupancy())
+}

@@ -1,0 +1,98 @@
+// Command tracegen generates, saves and inspects condensed workload
+// traces in the binary EBCP trace format.
+//
+// Examples:
+//
+//	tracegen -workload Database -insts 10e6 -o db.trc   # generate + save
+//	tracegen -inspect db.trc                             # summarize a file
+//	tracegen -workload TPC-W -insts 1e6 -stats           # stats only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ebcp/internal/trace"
+	"ebcp/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "Database", "benchmark name")
+		insts   = flag.Float64("insts", 10e6, "instructions to generate")
+		out     = flag.String("o", "", "output trace file (empty: don't save)")
+		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
+		stats   = flag.Bool("stats", false, "print trace statistics")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		f, err := os.Open(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r := trace.NewReader(f)
+		st := trace.Measure(r)
+		if err := r.Err(); err != nil {
+			fatal(err)
+		}
+		fmt.Println(st)
+		return
+	}
+
+	p, err := workload.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	src := trace.NewLimit(workload.New(p), uint64(*insts))
+
+	var w *trace.Writer
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = trace.NewWriter(f)
+	}
+
+	var recs []trace.Record
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if w != nil {
+			if err := w.Write(rec); err != nil {
+				fatal(err)
+			}
+		}
+		if *stats {
+			recs = append(recs, rec)
+		}
+	}
+	if w != nil {
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		info, _ := f.Stat()
+		fmt.Printf("wrote %d records (%d instructions) to %s (%d bytes, %.2f bytes/record)\n",
+			w.Count(), src.Instructions(), *out, info.Size(),
+			float64(info.Size())/float64(w.Count()))
+	}
+	if *stats {
+		fmt.Println(trace.Measure(trace.NewSlice(recs)))
+	}
+	if w == nil && !*stats {
+		fmt.Printf("generated %d instructions of %s (use -o or -stats to do something with them)\n",
+			src.Instructions(), p.Name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

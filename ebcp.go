@@ -1,0 +1,198 @@
+// Package ebcp is a trace-driven microarchitecture simulation library
+// reproducing "Low-Cost Epoch-Based Correlation Prefetching for Commercial
+// Applications" (Yuan Chou, MICRO 2007).
+//
+// It provides:
+//
+//   - the epoch-based correlation prefetcher (EBCP) — a correlation
+//     prefetcher whose multi-megabyte table lives in main memory, accessed
+//     timely by hiding the table read under a prior epoch, and which
+//     targets the removal of entire epochs rather than individual misses;
+//   - a cycle-approximate simulator of the paper's default processor
+//     (epoch-MLP core model, L1/L2 caches, prefetch buffer,
+//     bandwidth-constrained memory interconnect with strict priorities);
+//   - synthetic generators for the paper's four commercial workloads
+//     (database OLTP, TPC-W, SPECjbb2005, SPECjAppServer2004), calibrated
+//     against the paper's baseline statistics;
+//   - every comparison prefetcher of the paper's evaluation: GHB PC/DC,
+//     the Tag Correlating Prefetcher, a 32-stream stride prefetcher,
+//     Spatial Memory Streaming, Solihin's memory-side prefetcher, and the
+//     EBCP-minus ablation;
+//   - experiment runners regenerating Table 1 and Figures 4-9.
+//
+// Quick start:
+//
+//	bench := ebcp.SPECjbb2005()
+//	cfg := ebcp.DefaultSystem(bench)
+//	cfg.WarmInsts, cfg.MeasureInsts = 20e6, 20e6
+//	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+//	pf := ebcp.NewEBCP(ebcp.TunedEBCP())
+//	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+//	fmt.Printf("speedup: %+.1f%%\n", 100*res.Improvement(base))
+package ebcp
+
+import (
+	"ebcp/internal/cache"
+	"ebcp/internal/core"
+	"ebcp/internal/cpu"
+	"ebcp/internal/exp"
+	"ebcp/internal/mem"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/sim"
+	"ebcp/internal/trace"
+	"ebcp/internal/workload"
+)
+
+// Re-exported core types. The library's full surface lives in the
+// internal packages; these aliases are the supported public API.
+type (
+	// Benchmark parameterizes a synthetic workload.
+	Benchmark = workload.Params
+	// SystemConfig describes the simulated machine.
+	SystemConfig = sim.Config
+	// Result carries the measured statistics of one run.
+	Result = sim.Result
+	// CMPResult carries the per-thread and aggregate statistics of a
+	// multi-core run.
+	CMPResult = sim.CMPResult
+	// Prefetcher is the interface all prefetchers implement.
+	Prefetcher = prefetch.Prefetcher
+	// EBCPConfig parameterizes the epoch-based correlation prefetcher.
+	EBCPConfig = core.Config
+	// EBCP is the epoch-based correlation prefetcher.
+	EBCP = core.EBCP
+	// TraceSource is a stream of condensed trace records.
+	TraceSource = trace.Source
+	// Access is one L2-level access presented to a prefetcher (implement
+	// Prefetcher against it to plug a custom scheme into Run).
+	Access = prefetch.Access
+	// PrefetchContext lets a prefetcher issue prefetches and
+	// correlation-table traffic under the memory system's bandwidth and
+	// priority rules.
+	PrefetchContext = prefetch.Context
+	// CacheConfig describes one cache.
+	CacheConfig = cache.Config
+	// MemConfig describes the memory system.
+	MemConfig = mem.Config
+	// CoreConfig describes the core model.
+	CoreConfig = cpu.Config
+)
+
+// The four commercial benchmarks of the paper's evaluation.
+var (
+	Database           = workload.Database
+	TPCW               = workload.TPCW
+	SPECjbb2005        = workload.SPECjbb2005
+	SPECjAppServer2004 = workload.SPECjAppServer2004
+	// Benchmarks returns all four in the paper's order.
+	Benchmarks = workload.All
+	// BenchmarkByName resolves a benchmark by its display name.
+	BenchmarkByName = workload.ByName
+)
+
+// NewTrace builds the deterministic condensed-trace source for a
+// benchmark.
+func NewTrace(b Benchmark) TraceSource { return workload.New(b) }
+
+// DefaultSystem returns the paper's default processor configuration
+// (Section 4.4), with the core's on-chip CPI calibrated for the given
+// benchmark.
+func DefaultSystem(b Benchmark) SystemConfig {
+	cfg := sim.DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	return cfg
+}
+
+// Run simulates the trace on the system with the given prefetcher and
+// returns the measured statistics.
+func Run(src TraceSource, pf Prefetcher, cfg SystemConfig) Result {
+	return sim.Run(src, pf, cfg)
+}
+
+// RunCMP simulates a chip multiprocessor: one trace per hardware thread,
+// private cores and L1 caches, shared L2/interconnect/prefetcher. Set
+// EBCPConfig.Cores to the thread count so the prefetcher control tracks
+// each thread's epochs separately (the paper's Section 6 direction).
+func RunCMP(sources []TraceSource, pf Prefetcher, cfg SystemConfig) CMPResult {
+	return sim.RunCMP(sources, pf, cfg)
+}
+
+// Baseline returns the no-prefetching prefetcher.
+func Baseline() Prefetcher { return prefetch.None{} }
+
+// TunedEBCP is the tuned configuration of Section 5.2: 1M-entry
+// main-memory table, prefetch degree 8, 64-entry prefetch buffer (set the
+// buffer in the SystemConfig).
+func TunedEBCP() EBCPConfig { return core.DefaultConfig() }
+
+// IdealizedEBCP is the design-space starting point of Section 5.2: an
+// 8M-entry table holding 32 prefetch addresses per entry and issuing up
+// to 32 prefetches per match (pair with a 1024-entry prefetch buffer).
+func IdealizedEBCP() EBCPConfig {
+	cfg := core.DefaultConfig()
+	cfg.TableEntries = 8 << 20
+	cfg.TableMaxAddrs = 32
+	cfg.Degree = 32
+	return cfg
+}
+
+// NewEBCP builds an epoch-based correlation prefetcher.
+func NewEBCP(cfg EBCPConfig) *EBCP { return core.New(cfg) }
+
+// NewEBCPMinus builds the handicapped EBCP-minus ablation of Section 5.3,
+// which also stores the (untimely) misses of the epoch immediately after
+// the trigger.
+func NewEBCPMinus(cfg EBCPConfig) *EBCP {
+	cfg.Minus = true
+	return core.New(cfg)
+}
+
+// Comparison prefetchers of Section 5.3, at the given prefetch degree
+// (the paper uses degree 6 for all except SMS).
+var (
+	NewGHBSmall = prefetch.GHBSmall
+	NewGHBLarge = prefetch.GHBLarge
+	NewTCPSmall = prefetch.TCPSmall
+	NewTCPLarge = prefetch.TCPLarge
+	NewSMS      = prefetch.NewSMS
+)
+
+// NoTableIndex marks prefetches with no associated correlation-table
+// entry (custom prefetchers pass it to PrefetchContext.Prefetch).
+const NoTableIndex = cache.NoTableIndex
+
+// NewStream builds the 32-stream stride prefetcher.
+func NewStream(degree int) Prefetcher { return prefetch.NewStream(32, degree) }
+
+// NewSolihin builds Solihin's memory-side correlation prefetcher with the
+// given prefetch depth and width and a 1M-entry main-memory table.
+func NewSolihin(depth, width int) Prefetcher {
+	return prefetch.NewSolihin(depth, width, 1<<20)
+}
+
+// Experiment machinery: the paper's tables and figures (plus the CMP and
+// ablation extensions) as runnable definitions.
+type (
+	// Experiment is one regenerable artifact of the paper.
+	Experiment = exp.Experiment
+	// ExperimentOptions control windows, progress output and workload
+	// overrides.
+	ExperimentOptions = exp.Options
+	// ExperimentSession memoizes simulations across experiments.
+	ExperimentSession = exp.Session
+	// ExperimentReport is a rendered experiment result with the paper's
+	// reference values inline.
+	ExperimentReport = exp.Report
+)
+
+// Experiments returns every experiment in paper order (table1, fig4..fig9,
+// cmp, ablations).
+func Experiments() []Experiment { return exp.All() }
+
+// ExperimentByID resolves an experiment by its short id.
+func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
+
+// NewExperimentSession creates a memoizing session for experiment runs.
+func NewExperimentSession(opts ExperimentOptions) *ExperimentSession {
+	return exp.NewSession(opts)
+}

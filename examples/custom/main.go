@@ -1,0 +1,61 @@
+// Custom prefetcher: implement the library's Prefetcher interface and
+// race your scheme against the paper's. This example builds a simple
+// tagged next-N-line prefetcher and compares it with the stream
+// prefetcher and EBCP on the database workload.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+
+	"ebcp"
+)
+
+// nextN prefetches the next N sequential lines after every off-chip load
+// miss — the simplest possible spatial scheme. It plugs into the
+// simulator through the two-method Prefetcher interface; the
+// PrefetchContext enforces the machine's bandwidth and priority rules
+// (prefetches never delay demand accesses and are dropped when the
+// low-priority queue fills).
+type nextN struct {
+	n int
+}
+
+func (p nextN) Name() string { return fmt.Sprintf("next-%d-line", p.n) }
+
+func (p nextN) OnAccess(a ebcp.Access, ctx *ebcp.PrefetchContext) {
+	// Train on real load misses only; the prefetch buffer hit already
+	// means someone (we) got it right.
+	if !a.Miss || a.IFetch || a.MissMerged {
+		return
+	}
+	for i := 1; i <= p.n; i++ {
+		ctx.Prefetch(a.Now, a.Line.Add(int64(i)), ebcp.NoTableIndex)
+	}
+}
+
+func main() {
+	bench := ebcp.Database()
+	cfg := ebcp.DefaultSystem(bench)
+	cfg.WarmInsts = 25_000_000
+	cfg.MeasureInsts = 15_000_000
+
+	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	fmt.Printf("workload %s, baseline CPI %.3f\n\n", bench.Name, base.CPI())
+	fmt.Printf("%-14s %12s %10s %10s\n", "prefetcher", "improvement", "coverage", "accuracy")
+
+	for _, pf := range []ebcp.Prefetcher{
+		nextN{n: 1},
+		nextN{n: 4},
+		ebcp.NewStream(6),
+		ebcp.NewEBCP(ebcp.TunedEBCP()),
+	} {
+		res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+		fmt.Printf("%-14s %+11.1f%% %9.0f%% %9.0f%%\n",
+			pf.Name(), 100*res.Improvement(base), 100*res.Coverage(), 100*res.Accuracy())
+	}
+
+	fmt.Println("\nnext-line prefetching catches the spatial fraction of the miss")
+	fmt.Println("stream; the pointer-chased epoch triggers need correlation.")
+}

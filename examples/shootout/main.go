@@ -1,0 +1,74 @@
+// Shootout: every prefetcher of the paper's Figure 9 comparison on one
+// workload, ranked by overall performance improvement.
+//
+//	go run ./examples/shootout [benchmark]
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"ebcp"
+)
+
+func main() {
+	name := "SPECjbb2005"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	bench, err := ebcp.BenchmarkByName(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintln(os.Stderr, "benchmarks: Database | TPC-W | SPECjbb2005 | SPECjAppServer2004")
+		os.Exit(2)
+	}
+
+	cfg := ebcp.DefaultSystem(bench)
+	cfg.WarmInsts = 40_000_000
+	cfg.MeasureInsts = 20_000_000
+
+	fmt.Printf("prefetcher shootout on %s (degree 6, 64-entry prefetch buffer)\n\n", bench.Name)
+	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	fmt.Printf("baseline CPI %.3f\n\n", base.CPI())
+
+	ebcpCfg := ebcp.TunedEBCP()
+	ebcpCfg.Degree = 6
+	ebcpCfg.TableMaxAddrs = 6
+	minusCfg := ebcpCfg
+	contenders := []func() ebcp.Prefetcher{
+		func() ebcp.Prefetcher { return ebcp.NewGHBSmall(6) },
+		func() ebcp.Prefetcher { return ebcp.NewGHBLarge(6) },
+		func() ebcp.Prefetcher { return ebcp.NewTCPSmall(6) },
+		func() ebcp.Prefetcher { return ebcp.NewTCPLarge(6) },
+		func() ebcp.Prefetcher { return ebcp.NewStream(6) },
+		func() ebcp.Prefetcher { return ebcp.NewSMS() },
+		func() ebcp.Prefetcher { return ebcp.NewSolihin(3, 2) },
+		func() ebcp.Prefetcher { return ebcp.NewSolihin(6, 1) },
+		func() ebcp.Prefetcher { return ebcp.NewEBCPMinus(minusCfg) },
+		func() ebcp.Prefetcher { return ebcp.NewEBCP(ebcpCfg) },
+	}
+
+	type entry struct {
+		name          string
+		imp, cov, acc float64
+	}
+	var table []entry
+	for _, build := range contenders {
+		pf := build()
+		res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+		table = append(table, entry{
+			name: pf.Name(),
+			imp:  100 * res.Improvement(base),
+			cov:  100 * res.Coverage(),
+			acc:  100 * res.Accuracy(),
+		})
+		fmt.Printf("  ran %-12s %+6.1f%%\n", pf.Name(), table[len(table)-1].imp)
+	}
+
+	sort.Slice(table, func(i, j int) bool { return table[i].imp > table[j].imp })
+	fmt.Printf("\n%-14s %12s %10s %10s\n", "prefetcher", "improvement", "coverage", "accuracy")
+	for i, e := range table {
+		fmt.Printf("%d. %-12s %+11.1f%% %9.0f%% %9.0f%%\n", i+1, e.name, e.imp, e.cov, e.acc)
+	}
+}

@@ -1,0 +1,3 @@
+module ebcp
+
+go 1.22

@@ -1,0 +1,88 @@
+package cache
+
+import "ebcp/internal/amo"
+
+// MSHR models a miss status holding register file: the set of line
+// addresses with an outstanding miss. Requests to a line that is already
+// outstanding merge into the existing entry. A full MSHR file prevents new
+// misses from issuing, which the core treats as a stall condition.
+type MSHR struct {
+	capacity int
+	pending  map[amo.Line]uint64 // line -> completion cycle
+	merged   uint64
+}
+
+// NewMSHR creates an MSHR file with the given number of entries.
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, pending: make(map[amo.Line]uint64, capacity)}
+}
+
+// Full reports whether no new miss can be allocated.
+func (m *MSHR) Full() bool { return len(m.pending) >= m.capacity }
+
+// Outstanding returns the number of in-flight misses.
+func (m *MSHR) Outstanding() int { return len(m.pending) }
+
+// Capacity returns the number of entries.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// Merged returns how many requests were merged into existing entries.
+func (m *MSHR) Merged() uint64 { return m.merged }
+
+// Lookup reports whether the line is already outstanding and, if so, when
+// it completes.
+func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
+	completion, outstanding = m.pending[l]
+	return
+}
+
+// Allocate records a new outstanding miss completing at the given cycle.
+// If the line is already outstanding the request merges (the earlier
+// completion wins) and Allocate reports merged=true. Allocating into a
+// full MSHR file panics: callers must check Full first.
+func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool) {
+	if prev, ok := m.pending[l]; ok {
+		m.merged++
+		if completion < prev {
+			m.pending[l] = completion
+		}
+		return true
+	}
+	if m.Full() {
+		panic("cache: MSHR allocate on full file")
+	}
+	m.pending[l] = completion
+	return false
+}
+
+// CompleteThrough releases every entry whose completion cycle is <= now and
+// returns how many were released.
+func (m *MSHR) CompleteThrough(now uint64) int {
+	n := 0
+	for l, c := range m.pending {
+		if c <= now {
+			delete(m.pending, l)
+			n++
+		}
+	}
+	return n
+}
+
+// MaxCompletion returns the latest completion cycle among outstanding
+// entries (0 if none).
+func (m *MSHR) MaxCompletion() uint64 {
+	var max uint64
+	for _, c := range m.pending {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Reset drops all outstanding entries (used at simulation boundaries).
+func (m *MSHR) Reset() {
+	for l := range m.pending {
+		delete(m.pending, l)
+	}
+}

@@ -1,0 +1,96 @@
+package cache
+
+import (
+	"testing"
+
+	"ebcp/internal/amo"
+)
+
+func TestMSHRAllocateComplete(t *testing.T) {
+	m := NewMSHR(4)
+	if m.Full() || m.Outstanding() != 0 {
+		t.Fatal("fresh MSHR should be empty")
+	}
+	m.Allocate(amo.Line(1), 100)
+	m.Allocate(amo.Line(2), 200)
+	if m.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d", m.Outstanding())
+	}
+	if c, ok := m.Lookup(amo.Line(1)); !ok || c != 100 {
+		t.Errorf("Lookup(1) = %d,%v", c, ok)
+	}
+	if n := m.CompleteThrough(150); n != 1 {
+		t.Errorf("CompleteThrough(150) released %d, want 1", n)
+	}
+	if _, ok := m.Lookup(amo.Line(1)); ok {
+		t.Error("line 1 should be released")
+	}
+	if _, ok := m.Lookup(amo.Line(2)); !ok {
+		t.Error("line 2 should remain")
+	}
+}
+
+func TestMSHRMerge(t *testing.T) {
+	m := NewMSHR(2)
+	if merged := m.Allocate(amo.Line(5), 300); merged {
+		t.Error("first allocate should not merge")
+	}
+	if merged := m.Allocate(amo.Line(5), 250); !merged {
+		t.Error("second allocate to same line should merge")
+	}
+	if c, _ := m.Lookup(amo.Line(5)); c != 250 {
+		t.Errorf("merge should keep earlier completion, got %d", c)
+	}
+	if merged := m.Allocate(amo.Line(5), 400); !merged {
+		t.Error("later completion should still merge")
+	}
+	if c, _ := m.Lookup(amo.Line(5)); c != 250 {
+		t.Errorf("merge must not extend completion, got %d", c)
+	}
+	if m.Merged() != 2 {
+		t.Errorf("Merged = %d", m.Merged())
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("merges must not consume entries: %d", m.Outstanding())
+	}
+}
+
+func TestMSHRFullPanics(t *testing.T) {
+	m := NewMSHR(1)
+	m.Allocate(amo.Line(1), 10)
+	if !m.Full() {
+		t.Fatal("MSHR should be full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Allocate on full MSHR should panic")
+		}
+	}()
+	m.Allocate(amo.Line(2), 20)
+}
+
+func TestMSHRMaxCompletion(t *testing.T) {
+	m := NewMSHR(8)
+	if m.MaxCompletion() != 0 {
+		t.Error("empty MSHR MaxCompletion should be 0")
+	}
+	m.Allocate(amo.Line(1), 500)
+	m.Allocate(amo.Line(2), 900)
+	m.Allocate(amo.Line(3), 700)
+	if got := m.MaxCompletion(); got != 900 {
+		t.Errorf("MaxCompletion = %d, want 900", got)
+	}
+	m.CompleteThrough(900)
+	if m.Outstanding() != 0 {
+		t.Error("all entries should complete")
+	}
+}
+
+func TestMSHRReset(t *testing.T) {
+	m := NewMSHR(4)
+	m.Allocate(amo.Line(1), 10)
+	m.Reset()
+	if m.Outstanding() != 0 {
+		t.Error("Reset should clear entries")
+	}
+}

@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"fmt"
+
+	"ebcp/internal/amo"
+)
+
+// PBEntry describes a line resident in (or in flight to) the prefetch
+// buffer.
+type PBEntry struct {
+	// ReadyAt is the cycle the prefetched data arrives. A demand access
+	// before ReadyAt is a partial hit: it must wait for the remaining
+	// latency instead of paying a full off-chip access.
+	ReadyAt uint64
+	// TableIndex records which correlation-table entry generated the
+	// prefetch, so a hit can schedule the LRU-update write the paper
+	// describes (Section 3.4.3). Prefetchers that do not need write-back
+	// use NoTableIndex.
+	TableIndex int64
+}
+
+// NoTableIndex marks prefetch-buffer entries with no associated
+// correlation-table entry.
+const NoTableIndex int64 = -1
+
+// PBStats counts prefetch buffer events.
+type PBStats struct {
+	Inserts       uint64
+	Hits          uint64 // demand hits on arrived lines
+	PartialHits   uint64 // demand hits on in-flight lines
+	Evictions     uint64 // valid entries displaced before any use
+	Replaced      uint64 // inserts that found the line already present
+	Invalidations uint64
+}
+
+type pbWay struct {
+	tag   uint64
+	valid bool
+	used  bool
+	lru   uint64
+	entry PBEntry
+}
+
+// PrefetchBuffer is the small fully-on-chip buffer that receives prefetched
+// lines. It is organized 4-way set-associative (Section 5.2.3) and is
+// searched in parallel with the L2 cache. Lines are promoted to the
+// regular caches only when a demand request hits them.
+type PrefetchBuffer struct {
+	ways    int
+	nSets   int
+	setBits uint
+	sets    [][]pbWay
+	stamp   uint64
+	stats   PBStats
+}
+
+// NewPrefetchBuffer creates a buffer with the given total entries and
+// associativity. entries/ways must be a power of two number of sets; a
+// buffer smaller than one full set degenerates to fully associative.
+func NewPrefetchBuffer(entries, ways int) *PrefetchBuffer {
+	if entries <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("cache: bad prefetch buffer shape %d/%d", entries, ways))
+	}
+	if entries < ways {
+		ways = entries
+	}
+	nSets := entries / ways
+	if !amo.IsPow2(uint64(nSets)) {
+		panic(fmt.Sprintf("cache: prefetch buffer sets %d not a power of two", nSets))
+	}
+	sets := make([][]pbWay, nSets)
+	backing := make([]pbWay, nSets*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return &PrefetchBuffer{ways: ways, nSets: nSets, setBits: amo.Log2(uint64(nSets)), sets: sets}
+}
+
+// Entries returns the total capacity.
+func (b *PrefetchBuffer) Entries() int { return b.ways * b.nSets }
+
+// Stats returns a copy of the counters.
+func (b *PrefetchBuffer) Stats() PBStats { return b.stats }
+
+// ResetStats zeroes the counters without touching contents.
+func (b *PrefetchBuffer) ResetStats() { b.stats = PBStats{} }
+
+func (b *PrefetchBuffer) locate(l amo.Line) ([]pbWay, uint64) {
+	return b.sets[l.SetIndex(b.nSets)], l.Tag(b.setBits)
+}
+
+// Contains probes for the line without side effects.
+func (b *PrefetchBuffer) Contains(l amo.Line) bool {
+	set, tag := b.locate(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert places a prefetched line in the buffer, evicting LRU if needed.
+// Inserting a line already present refreshes it (keeping the earlier
+// ReadyAt, since the data is already on its way).
+func (b *PrefetchBuffer) Insert(l amo.Line, e PBEntry) {
+	set, tag := b.locate(l)
+	b.stamp++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			b.stats.Replaced++
+			if e.ReadyAt < set[i].entry.ReadyAt {
+				set[i].entry.ReadyAt = e.ReadyAt
+			}
+			set[i].entry.TableIndex = e.TableIndex
+			set[i].lru = b.stamp
+			return
+		}
+	}
+	b.stats.Inserts++
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			goto place
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	if !set[vi].used {
+		b.stats.Evictions++
+	}
+place:
+	set[vi] = pbWay{tag: tag, valid: true, lru: b.stamp, entry: e}
+}
+
+// Hit checks for a demand hit at cycle now. On a hit the entry is consumed
+// (the line is promoted to the regular caches by the caller) and its
+// metadata returned. A hit on an in-flight entry is reported with
+// partial=true; the caller should charge entry.ReadyAt-now of residual
+// latency.
+func (b *PrefetchBuffer) Hit(l amo.Line, now uint64) (e PBEntry, hit, partial bool) {
+	set, tag := b.locate(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			e = set[i].entry
+			partial = e.ReadyAt > now
+			if partial {
+				b.stats.PartialHits++
+			} else {
+				b.stats.Hits++
+			}
+			set[i].valid = false
+			return e, true, partial
+		}
+	}
+	return PBEntry{}, false, false
+}
+
+// Invalidate removes the line if present (e.g. on a store to a prefetched
+// line, keeping the buffer coherent).
+func (b *PrefetchBuffer) Invalidate(l amo.Line) bool {
+	set, tag := b.locate(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].valid = false
+			b.stats.Invalidations++
+			return true
+		}
+	}
+	return false
+}
+
+// Occupancy returns the number of valid entries (for tests/debugging).
+func (b *PrefetchBuffer) Occupancy() int {
+	n := 0
+	for _, set := range b.sets {
+		for i := range set {
+			if set[i].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

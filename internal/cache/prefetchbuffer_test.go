@@ -1,0 +1,141 @@
+package cache
+
+import (
+	"testing"
+
+	"ebcp/internal/amo"
+)
+
+func TestPBInsertHit(t *testing.T) {
+	b := NewPrefetchBuffer(64, 4)
+	l := amo.LineOf(0x4000)
+	b.Insert(l, PBEntry{ReadyAt: 100, TableIndex: 7})
+	e, hit, partial := b.Hit(l, 150)
+	if !hit || partial {
+		t.Fatalf("hit=%v partial=%v, want full hit", hit, partial)
+	}
+	if e.TableIndex != 7 {
+		t.Errorf("TableIndex = %d", e.TableIndex)
+	}
+	// Hits consume the entry.
+	if _, hit, _ := b.Hit(l, 150); hit {
+		t.Error("entry should be consumed by the first hit")
+	}
+	st := b.Stats()
+	if st.Hits != 1 || st.Inserts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPBPartialHit(t *testing.T) {
+	b := NewPrefetchBuffer(64, 4)
+	l := amo.LineOf(0x4000)
+	b.Insert(l, PBEntry{ReadyAt: 500})
+	e, hit, partial := b.Hit(l, 100)
+	if !hit || !partial {
+		t.Fatalf("hit=%v partial=%v, want partial hit", hit, partial)
+	}
+	if e.ReadyAt != 500 {
+		t.Errorf("ReadyAt = %d", e.ReadyAt)
+	}
+	if b.Stats().PartialHits != 1 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestPBMiss(t *testing.T) {
+	b := NewPrefetchBuffer(16, 4)
+	if _, hit, _ := b.Hit(amo.LineOf(0x123440), 0); hit {
+		t.Error("empty buffer should miss")
+	}
+}
+
+func TestPBReinsertKeepsEarlierReady(t *testing.T) {
+	b := NewPrefetchBuffer(16, 4)
+	l := amo.LineOf(0x80)
+	b.Insert(l, PBEntry{ReadyAt: 100})
+	b.Insert(l, PBEntry{ReadyAt: 300, TableIndex: 9})
+	e, hit, partial := b.Hit(l, 200)
+	if !hit || partial {
+		t.Fatalf("hit=%v partial=%v; re-insert must not delay arrival", hit, partial)
+	}
+	if e.TableIndex != 9 {
+		t.Errorf("TableIndex should refresh to 9, got %d", e.TableIndex)
+	}
+	if b.Stats().Replaced != 1 || b.Stats().Inserts != 1 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestPBEvictionLRU(t *testing.T) {
+	// 4 entries, 4-way => one fully-associative set.
+	b := NewPrefetchBuffer(4, 4)
+	for i := 0; i < 4; i++ {
+		b.Insert(amo.Line(i), PBEntry{})
+	}
+	// Line 0 is LRU; inserting a 5th evicts it.
+	b.Insert(amo.Line(100), PBEntry{})
+	if b.Contains(amo.Line(0)) {
+		t.Error("line 0 should be evicted")
+	}
+	for _, l := range []amo.Line{1, 2, 3, 100} {
+		if !b.Contains(l) {
+			t.Errorf("line %v should be resident", l)
+		}
+	}
+	if b.Stats().Evictions != 1 {
+		t.Errorf("stats = %+v", b.Stats())
+	}
+}
+
+func TestPBSetMapping(t *testing.T) {
+	// 8 entries 4-way => 2 sets; lines with equal parity of line number map
+	// to the same set. Filling 5 even lines must not disturb odd lines.
+	b := NewPrefetchBuffer(8, 4)
+	b.Insert(amo.Line(1), PBEntry{})
+	for i := 0; i < 5; i++ {
+		b.Insert(amo.Line(2*i), PBEntry{})
+	}
+	if !b.Contains(amo.Line(1)) {
+		t.Error("odd-set line evicted by even-set pressure")
+	}
+}
+
+func TestPBInvalidate(t *testing.T) {
+	b := NewPrefetchBuffer(16, 4)
+	l := amo.LineOf(0xc0)
+	b.Insert(l, PBEntry{})
+	if !b.Invalidate(l) {
+		t.Fatal("invalidate should find the line")
+	}
+	if b.Invalidate(l) {
+		t.Fatal("second invalidate should miss")
+	}
+	if _, hit, _ := b.Hit(l, 0); hit {
+		t.Error("invalidated line should not hit")
+	}
+}
+
+func TestPBOccupancy(t *testing.T) {
+	b := NewPrefetchBuffer(64, 4)
+	for i := 0; i < 10; i++ {
+		b.Insert(amo.Line(i*3), PBEntry{})
+	}
+	if got := b.Occupancy(); got != 10 {
+		t.Errorf("Occupancy = %d, want 10", got)
+	}
+	b.Hit(amo.Line(0), 0)
+	if got := b.Occupancy(); got != 9 {
+		t.Errorf("Occupancy after hit = %d, want 9", got)
+	}
+}
+
+func TestPBSmallerThanWays(t *testing.T) {
+	b := NewPrefetchBuffer(2, 4) // degenerates to 2-way single set
+	b.Insert(amo.Line(1), PBEntry{})
+	b.Insert(amo.Line(2), PBEntry{})
+	b.Insert(amo.Line(3), PBEntry{})
+	if b.Occupancy() != 2 {
+		t.Errorf("Occupancy = %d, want 2", b.Occupancy())
+	}
+}

@@ -1,0 +1,194 @@
+// Package corrtab models the main-memory-resident correlation table shared
+// by the epoch-based correlation prefetcher and Solihin's memory-side
+// prefetcher.
+//
+// The table is direct-mapped (Section 3.4.2: "to reduce the memory
+// bandwidth needed to access the table, it is direct-mapped") and each
+// entry fits within the 64B unit of memory transfer: a tag, LRU
+// information, and a bounded list of compressed prefetch addresses. The
+// on-chip prefetcher control computes entry addresses by adding the index
+// to the table's base physical address; here we model the entry *contents*
+// and leave the memory traffic (reads, update writes, LRU writes) to the
+// caller, which charges it against the interconnect model.
+//
+// Storage is sparse (only touched indices are materialized), so an
+// 8M-entry idealized table costs memory proportional to its working set,
+// not its architected size.
+package corrtab
+
+import (
+	"fmt"
+
+	"ebcp/internal/amo"
+)
+
+// Config shapes a correlation table.
+type Config struct {
+	// Entries is the number of direct-mapped entries (a power of two).
+	// One million entries (64MB of main memory) is the paper's tuned
+	// configuration; the idealized design-space starting point is 8M.
+	Entries int
+	// MaxAddrs bounds prefetch addresses per entry. Eight fit comfortably
+	// in a 64B line with compressed addresses (Section 3.4.2); the
+	// idealized configuration stores 32 (entries spanning multiple lines).
+	MaxAddrs int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Entries <= 0 || !amo.IsPow2(uint64(c.Entries)) {
+		return fmt.Errorf("corrtab: entries %d must be a positive power of two", c.Entries)
+	}
+	if c.MaxAddrs <= 0 {
+		return fmt.Errorf("corrtab: max addrs %d must be positive", c.MaxAddrs)
+	}
+	return nil
+}
+
+// Stats counts table activity.
+type Stats struct {
+	Lookups     uint64
+	Hits        uint64
+	Allocations uint64
+	// ConflictEvictions counts allocations that displaced a live entry of
+	// a different tag (direct-mapped conflict).
+	ConflictEvictions uint64
+	Updates           uint64
+	Touches           uint64
+}
+
+// HitRate returns hits/lookups.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// entry is one direct-mapped slot. addrs is kept in MRU-first order; its
+// position encodes the LRU information of the 64B entry.
+type entry struct {
+	tag   uint64
+	addrs []amo.Line
+}
+
+// Table is the sparse direct-mapped correlation table.
+type Table struct {
+	cfg     Config
+	mask    uint64
+	entries map[uint64]*entry
+	stats   Stats
+}
+
+// New builds a table. It panics on invalid configuration.
+func New(cfg Config) *Table {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{
+		cfg:     cfg,
+		mask:    uint64(cfg.Entries - 1),
+		entries: make(map[uint64]*entry),
+	}
+}
+
+// Config returns the table's configuration.
+func (t *Table) Config() Config { return t.cfg }
+
+// Stats returns a copy of the counters.
+func (t *Table) Stats() Stats { return t.stats }
+
+// ResetStats zeroes the counters.
+func (t *Table) ResetStats() { t.stats = Stats{} }
+
+// Index returns the direct-mapped index of a key line.
+func (t *Table) Index(key amo.Line) uint64 { return uint64(key) & t.mask }
+
+// Lookup returns the prefetch addresses stored under key (MRU first), or
+// nil when the indexed entry holds a different tag or is empty. The
+// returned slice aliases table state and must not be retained across
+// updates.
+func (t *Table) Lookup(key amo.Line) []amo.Line {
+	t.stats.Lookups++
+	e := t.entries[t.Index(key)]
+	if e == nil || e.tag != uint64(key) {
+		return nil
+	}
+	t.stats.Hits++
+	return e.addrs
+}
+
+// Update merges addrs into the entry for key, in the order given (highest
+// priority first — the paper gives priority to the misses of the older
+// epoch). Present addresses move to MRU; new ones are inserted at MRU,
+// displacing the LRU addresses when the entry is full. A tag mismatch
+// reallocates the entry (direct-mapped conflict overwrite).
+func (t *Table) Update(key amo.Line, addrs []amo.Line) {
+	t.stats.Updates++
+	idx := t.Index(key)
+	e := t.entries[idx]
+	if e == nil || e.tag != uint64(key) {
+		if e != nil {
+			t.stats.ConflictEvictions++
+		}
+		t.stats.Allocations++
+		e = &entry{tag: uint64(key), addrs: make([]amo.Line, 0, t.cfg.MaxAddrs)}
+		t.entries[idx] = e
+		if len(addrs) > t.cfg.MaxAddrs {
+			addrs = addrs[:t.cfg.MaxAddrs]
+		}
+	}
+	// Merge, highest priority last inserted so it ends most-recently-used:
+	// iterate in reverse so addrs[0] lands at the front.
+	for i := len(addrs) - 1; i >= 0; i-- {
+		t.promote(e, addrs[i])
+	}
+}
+
+// promote moves a to the MRU position of e, inserting it if absent and
+// evicting the LRU address if the entry is full.
+func (t *Table) promote(e *entry, a amo.Line) {
+	for i, x := range e.addrs {
+		if x == a {
+			copy(e.addrs[1:i+1], e.addrs[:i])
+			e.addrs[0] = a
+			return
+		}
+	}
+	if len(e.addrs) < t.cfg.MaxAddrs {
+		e.addrs = append(e.addrs, 0)
+	}
+	copy(e.addrs[1:], e.addrs)
+	e.addrs[0] = a
+}
+
+// Touch records a prefetch-buffer hit: the used address moves to the MRU
+// position of the entry at the given index (Section 3.4.3: each prefetch
+// buffer entry carries the index of the generating correlation table
+// entry so its LRU information can be updated). The caller charges the
+// corresponding table write.
+func (t *Table) Touch(index uint64, used amo.Line) {
+	e := t.entries[index&t.mask]
+	if e == nil {
+		return
+	}
+	for i, x := range e.addrs {
+		if x == used {
+			copy(e.addrs[1:i+1], e.addrs[:i])
+			e.addrs[0] = used
+			t.stats.Touches++
+			return
+		}
+	}
+}
+
+// Reclaim drops all table contents, modelling the operating system
+// reclaiming the physical memory region (Section 3.4.1). The prefetcher
+// re-learns from scratch when a region is granted again.
+func (t *Table) Reclaim() {
+	t.entries = make(map[uint64]*entry)
+}
+
+// Occupancy returns how many distinct indices are materialized (for tests
+// and memory accounting).
+func (t *Table) Occupancy() int { return len(t.entries) }

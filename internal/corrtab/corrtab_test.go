@@ -1,0 +1,299 @@
+package corrtab
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebcp/internal/amo"
+)
+
+func table(entries, maxAddrs int) *Table {
+	return New(Config{Entries: entries, MaxAddrs: maxAddrs})
+}
+
+func lines(vs ...uint64) []amo.Line {
+	out := make([]amo.Line, len(vs))
+	for i, v := range vs {
+		out[i] = amo.Line(v)
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{{}, {Entries: 3, MaxAddrs: 8}, {Entries: 1024, MaxAddrs: 0}, {Entries: -4, MaxAddrs: 8}}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v should be rejected", c)
+		}
+	}
+	if err := (Config{Entries: 1 << 20, MaxAddrs: 8}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestUpdateLookup(t *testing.T) {
+	tb := table(1024, 8)
+	key := amo.Line(100)
+	tb.Update(key, lines(1, 2, 3))
+	got := tb.Lookup(key)
+	if len(got) != 3 {
+		t.Fatalf("Lookup returned %v", got)
+	}
+	// addrs[0] had highest priority: it must be MRU (first).
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("order = %v, want [1 2 3]", got)
+	}
+	st := tb.Stats()
+	if st.Lookups != 1 || st.Hits != 1 || st.Allocations != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLookupMissOnEmptyAndWrongTag(t *testing.T) {
+	tb := table(16, 8)
+	if tb.Lookup(amo.Line(5)) != nil {
+		t.Error("empty table lookup should miss")
+	}
+	tb.Update(amo.Line(5), lines(1))
+	// Line 21 maps to the same index (21 % 16 == 5) but has a different tag.
+	if tb.Lookup(amo.Line(21)) != nil {
+		t.Error("conflicting key must not hit")
+	}
+	if tb.Stats().HitRate() != 0 {
+		t.Errorf("hit rate = %v", tb.Stats().HitRate())
+	}
+}
+
+func TestConflictOverwrite(t *testing.T) {
+	tb := table(16, 8)
+	tb.Update(amo.Line(5), lines(1))
+	tb.Update(amo.Line(21), lines(2)) // same index, different tag
+	if tb.Lookup(amo.Line(5)) != nil {
+		t.Error("old tag should be displaced")
+	}
+	got := tb.Lookup(amo.Line(21))
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("new entry = %v", got)
+	}
+	if tb.Stats().ConflictEvictions != 1 {
+		t.Errorf("stats = %+v", tb.Stats())
+	}
+	if tb.Occupancy() != 1 {
+		t.Errorf("occupancy = %d", tb.Occupancy())
+	}
+}
+
+func TestLRUMergeAndEviction(t *testing.T) {
+	tb := table(1024, 4)
+	key := amo.Line(7)
+	tb.Update(key, lines(1, 2, 3, 4))
+	// Update with one existing (3) and one new (9): 3 promotes, 9 inserts,
+	// LRU (4) evicts because the entry is full.
+	tb.Update(key, lines(3, 9))
+	got := tb.Lookup(key)
+	want := lines(3, 9, 1, 2)
+	if len(got) != 4 {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestUpdateTruncatesToMaxAddrs(t *testing.T) {
+	tb := table(64, 2)
+	tb.Update(amo.Line(1), lines(10, 11, 12, 13))
+	got := tb.Lookup(amo.Line(1))
+	if len(got) != 2 {
+		t.Fatalf("entry holds %d addrs, want 2", len(got))
+	}
+	// Priority order preserved: the first two.
+	if got[0] != 10 || got[1] != 11 {
+		t.Errorf("got %v, want [10 11]", got)
+	}
+}
+
+func TestTouchPromotes(t *testing.T) {
+	tb := table(256, 4)
+	key := amo.Line(9)
+	tb.Update(key, lines(1, 2, 3, 4))
+	tb.Touch(tb.Index(key), amo.Line(4))
+	got := tb.Lookup(key)
+	if got[0] != 4 {
+		t.Errorf("touched address should be MRU: %v", got)
+	}
+	if tb.Stats().Touches != 1 {
+		t.Errorf("stats = %+v", tb.Stats())
+	}
+	// Touching an absent address or empty index is harmless.
+	tb.Touch(tb.Index(key), amo.Line(99))
+	tb.Touch(12345, amo.Line(1))
+	if tb.Stats().Touches != 1 {
+		t.Errorf("no-op touches must not count: %+v", tb.Stats())
+	}
+}
+
+func TestReclaim(t *testing.T) {
+	tb := table(64, 4)
+	tb.Update(amo.Line(1), lines(5))
+	tb.Reclaim()
+	if tb.Lookup(amo.Line(1)) != nil {
+		t.Error("reclaimed table should be empty")
+	}
+	if tb.Occupancy() != 0 {
+		t.Errorf("occupancy = %d", tb.Occupancy())
+	}
+}
+
+func TestEntryNeverExceedsMaxAddrsProperty(t *testing.T) {
+	f := func(keys []uint16, addrs []uint16) bool {
+		tb := table(256, 6)
+		for i, k := range keys {
+			var batch []amo.Line
+			for j := 0; j < 3 && i+j < len(addrs); j++ {
+				batch = append(batch, amo.Line(addrs[i+j]))
+			}
+			tb.Update(amo.Line(k), batch)
+			if got := tb.Lookup(amo.Line(k)); len(got) > 6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLookupAfterUpdateAlwaysHitsProperty(t *testing.T) {
+	// Property: immediately after Update(key, ...), Lookup(key) hits and
+	// contains the highest-priority address, as long as addrs is non-empty.
+	f := func(key uint32, a1, a2 uint32) bool {
+		tb := table(1<<12, 8)
+		tb.Update(amo.Line(key), lines(uint64(a1), uint64(a2)))
+		got := tb.Lookup(amo.Line(key))
+		return len(got) >= 1 && got[0] == amo.Line(a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicateAddressesInUpdate(t *testing.T) {
+	tb := table(64, 4)
+	tb.Update(amo.Line(1), lines(7, 7, 7))
+	got := tb.Lookup(amo.Line(1))
+	n := 0
+	for _, a := range got {
+		if a == 7 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("duplicate addresses must collapse: %v", got)
+	}
+}
+
+func TestIndexMasks(t *testing.T) {
+	tb := table(1024, 8)
+	for _, k := range []amo.Line{0, 1023, 1024, 1 << 30} {
+		if idx := tb.Index(k); idx >= 1024 {
+			t.Errorf("Index(%v) = %d out of range", k, idx)
+		}
+	}
+	if tb.Index(amo.Line(1024)) != tb.Index(amo.Line(0)) {
+		t.Error("direct mapping should wrap at table size")
+	}
+}
+
+// TestMatchesReferenceModel drives the table and an obviously-correct
+// reference implementation with the same random operation stream and
+// requires identical observable behaviour (entry contents in MRU order).
+func TestMatchesReferenceModel(t *testing.T) {
+	const entries, maxAddrs = 64, 4
+	tb := table(entries, maxAddrs)
+
+	type refEntry struct {
+		tag   uint64
+		addrs []amo.Line // MRU first
+	}
+	ref := make(map[uint64]*refEntry)
+	refPromote := func(e *refEntry, a amo.Line) {
+		for i, x := range e.addrs {
+			if x == a {
+				e.addrs = append(e.addrs[:i], e.addrs[i+1:]...)
+				break
+			}
+		}
+		e.addrs = append([]amo.Line{a}, e.addrs...)
+		if len(e.addrs) > maxAddrs {
+			e.addrs = e.addrs[:maxAddrs]
+		}
+	}
+	refUpdate := func(key amo.Line, addrs []amo.Line) {
+		idx := uint64(key) % entries
+		e := ref[idx]
+		if e == nil || e.tag != uint64(key) {
+			e = &refEntry{tag: uint64(key)}
+			ref[idx] = e
+			if len(addrs) > maxAddrs {
+				addrs = addrs[:maxAddrs]
+			}
+		}
+		for i := len(addrs) - 1; i >= 0; i-- {
+			refPromote(e, addrs[i])
+		}
+	}
+	refLookup := func(key amo.Line) []amo.Line {
+		e := ref[uint64(key)%entries]
+		if e == nil || e.tag != uint64(key) {
+			return nil
+		}
+		return e.addrs
+	}
+	refTouch := func(idx uint64, a amo.Line) {
+		e := ref[idx%entries]
+		if e == nil {
+			return
+		}
+		for _, x := range e.addrs {
+			if x == a {
+				refPromote(e, a)
+				return
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		key := amo.Line(rng.Intn(256))
+		switch rng.Intn(3) {
+		case 0:
+			n := 1 + rng.Intn(5)
+			addrs := make([]amo.Line, n)
+			for j := range addrs {
+				addrs[j] = amo.Line(rng.Intn(64))
+			}
+			tb.Update(key, addrs)
+			refUpdate(key, addrs)
+		case 1:
+			got := tb.Lookup(key)
+			want := refLookup(key)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: Lookup(%v) = %v, ref %v", i, key, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("step %d: Lookup(%v) order = %v, ref %v", i, key, got, want)
+				}
+			}
+		case 2:
+			a := amo.Line(rng.Intn(64))
+			tb.Touch(tb.Index(key), a)
+			refTouch(tb.Index(key), a)
+		}
+	}
+}

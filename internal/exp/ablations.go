@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"fmt"
+
+	"ebcp/internal/core"
+	"ebcp/internal/prefetch"
+)
+
+// Ablations isolates the design choices Section 3 argues for, by removing
+// them one at a time from the tuned EBCP:
+//
+//   - "minus": also store the untimely next epoch's misses (the paper's
+//     own EBCP-minus ablation from Figure 9);
+//   - "no PB-hit lookups": disable the "first L2 miss *(or prefetch
+//     buffer hit)* in a new epoch" rule — the lookup chain then starves
+//     as soon as prefetching works;
+//   - "no LRU writeback": don't fold prefetch-buffer hits back into the
+//     table entry's LRU information (Section 3.4.3's second write);
+//   - EMAB depth 3 and 6 against the paper's 4;
+//   - virtual window 64 and 512 against the ROB-matched 128.
+func Ablations() Experiment {
+	type variant struct {
+		label string
+		mut   func(*core.Config)
+	}
+	variants := []variant{
+		{"tuned EBCP", func(*core.Config) {}},
+		{"minus (+1/+2 epochs)", func(c *core.Config) { c.Minus = true }},
+		{"no PB-hit lookups", func(c *core.Config) { c.NoVirtualEpochs = true }},
+		{"no LRU writeback", func(c *core.Config) { c.LRUWriteback = false }},
+		{"EMAB depth 3", func(c *core.Config) { c.EMABEpochs = 3 }},
+		{"EMAB depth 6", func(c *core.Config) { c.EMABEpochs = 6 }},
+		{"virtual window 64", func(c *core.Config) { c.VirtualWindow = 64 }},
+		{"virtual window 512", func(c *core.Config) { c.VirtualWindow = 512 }},
+	}
+	return Experiment{
+		ID:    "ablations",
+		Title: "EBCP design-choice ablations (extension; 'minus' is the paper's Figure 9 ablation)",
+		Run: func(s *Session) *Report {
+			rep := &Report{
+				ID:      "ablations",
+				Title:   "Tuned EBCP with one design choice removed at a time",
+				Unit:    "% improvement over no prefetching",
+				Columns: s.benchColumns(),
+				Notes: []string{
+					"a 3-deep EMAB stores epochs i+1/i+2 relative to its oldest key — the minus timing; a 6-deep one stores i+4/i+5 — too far ahead",
+					"'no PB-hit lookups' shows why the paper's '(or prefetch buffer hit)' clause is load-bearing: without it the lookup chain starves once epochs start disappearing",
+				},
+			}
+			for _, v := range variants {
+				v := v
+				row := Row{Label: v.label}
+				for _, b := range s.benchmarks() {
+					base := s.baseline(b)
+					key := fmt.Sprintf("abl/%s/%s", b.Name, v.label)
+					res := s.run(key, b, func() prefetch.Prefetcher {
+						cfg := core.DefaultConfig()
+						v.mut(&cfg)
+						return core.New(cfg)
+					}, nil)
+					row.Values = append(row.Values, 100*res.Improvement(base))
+				}
+				rep.Rows = append(rep.Rows, row)
+			}
+			return rep
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"ebcp/internal/core"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/sim"
+	"ebcp/internal/trace"
+	"ebcp/internal/workload"
+)
+
+// CMP is this reproduction's extension experiment: the paper's Section 6
+// future work (EBCP on a chip multiprocessor) plus a quantitative test of
+// its Section 3.3.1 placement argument. N threads of each workload share
+// the L2 and the interconnect. EBCP keeps per-thread EMABs at the
+// core-to-L2 crossbar and shares one main-memory table; Solihin's
+// memory-side engine trains on the interleaved miss stream. Reported is
+// the aggregate-IPC speedup over the no-prefetching machine with the same
+// core count.
+func CMP() Experiment {
+	coreCounts := []int{1, 2, 4}
+	return Experiment{
+		ID:    "cmp",
+		Title: "CMP extension: per-thread EBCP vs memory-side Solihin as cores scale (Section 3.3.1 / Section 6)",
+		Run: func(s *Session) *Report {
+			rep := &Report{
+				ID:      "cmp",
+				Title:   "Aggregate-IPC speedup over the same-core-count baseline",
+				Unit:    "% speedup",
+				Columns: []string{"1 core", "2 cores", "4 cores"},
+				Notes: []string{
+					"the paper argues (3.3.1) that interleaved request streams 'do not exhibit sufficient correlation' for memory-side prefetching; EBCP's crossbar placement sees each thread separately",
+					"threads run independent instances of the workload (different seeds) sharing L2, interconnect and prefetcher",
+				},
+			}
+			for _, b := range s.benchmarks() {
+				ebcpRow := Row{Label: b.Name + ": EBCP"}
+				solRow := Row{Label: b.Name + ": Solihin 6,1"}
+				for _, n := range coreCounts {
+					base := s.runCMP(fmt.Sprintf("cmpbase/%s/%d", b.Name, n), b, n,
+						func(int) prefetch.Prefetcher { return prefetch.None{} })
+					eb := s.runCMP(fmt.Sprintf("cmpebcp/%s/%d", b.Name, n), b, n,
+						func(cores int) prefetch.Prefetcher {
+							cfg := core.DefaultConfig()
+							cfg.Cores = cores
+							return core.New(cfg)
+						})
+					so := s.runCMP(fmt.Sprintf("cmpsol/%s/%d", b.Name, n), b, n,
+						func(int) prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) })
+					ebcpRow.Values = append(ebcpRow.Values, 100*(eb.Speedup(base)-1))
+					solRow.Values = append(solRow.Values, 100*(so.Speedup(base)-1))
+				}
+				rep.Rows = append(rep.Rows, ebcpRow, solRow)
+			}
+			return rep
+		},
+	}
+}
+
+// cmpMemo caches CMP runs (they do not fit the sim.Result memo).
+type cmpMemo map[string]sim.CMPResult
+
+func (s *Session) runCMP(key string, bench workload.Params, cores int, pf func(int) prefetch.Prefetcher) sim.CMPResult {
+	if s.cmp == nil {
+		s.cmp = make(cmpMemo)
+	}
+	if r, ok := s.cmp[key]; ok {
+		s.cacheHits++
+		return r
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Core.OnChipCPI = bench.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
+	// Per-thread windows at the single-core length would multiply runtime
+	// by the core count; scale them down so each CMP point costs about one
+	// single-core run.
+	cfg.WarmInsts /= uint64(cores)
+	cfg.MeasureInsts /= uint64(cores)
+	sources := make([]trace.Source, cores)
+	for i := range sources {
+		b := bench
+		b.Seed += int64(i) * 7919
+		sources[i] = workload.New(b)
+	}
+	res := sim.RunCMP(sources, pf(cores), cfg)
+	s.cmp[key] = res
+	s.runs++
+	if s.opts.Progress != nil {
+		fmt.Fprintf(s.opts.Progress, "  ran %-40s IPC %.3f\n", key, res.AggregateIPC())
+	}
+	return res
+}

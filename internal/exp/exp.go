@@ -1,0 +1,252 @@
+// Package exp defines the paper's experiments — Table 1 and Figures 4
+// through 9 — as runnable definitions: each builds the workloads, system
+// configurations and prefetchers it needs, executes the simulations, and
+// renders the same rows/series the paper reports, side by side with the
+// paper's published values where the paper states them.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"ebcp/internal/prefetch"
+	"ebcp/internal/sim"
+	"ebcp/internal/workload"
+)
+
+// Options control experiment execution.
+type Options struct {
+	// Warm and Measure override the paper's 150M/100M instruction windows
+	// (0 keeps the defaults). Scaled-down windows run much faster and
+	// preserve shapes, at some loss of training for the correlation
+	// prefetchers.
+	Warm, Measure uint64
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+	// Benchmarks overrides the workload set (nil = the paper's four
+	// commercial benchmarks). Tests use workload.Scaled variants here.
+	Benchmarks []workload.Params
+}
+
+func (o Options) windows() (uint64, uint64) {
+	w, m := o.Warm, o.Measure
+	if w == 0 {
+		w = 150_000_000
+	}
+	if m == 0 {
+		m = 100_000_000
+	}
+	return w, m
+}
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	// ID is the short name used on the command line ("table1", "fig4"...).
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment.
+	Run func(s *Session) *Report
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Table1(),
+		Fig4(),
+		Fig5(),
+		Fig6(),
+		Fig7(),
+		Fig8(),
+		Fig9(),
+		CMP(),
+		Ablations(),
+	}
+}
+
+// ByID resolves an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+}
+
+// Session runs simulations with memoization, so experiments sharing runs
+// (e.g. the baselines, or Figures 4 and 5) execute them once.
+type Session struct {
+	opts      Options
+	memo      map[string]sim.Result
+	cmp       cmpMemo
+	runs      int
+	cacheHits int
+}
+
+// NewSession creates a session.
+func NewSession(opts Options) *Session {
+	return &Session{opts: opts, memo: make(map[string]sim.Result)}
+}
+
+// Runs returns how many simulations actually executed.
+func (s *Session) Runs() int { return s.runs }
+
+// run executes (or recalls) one simulation. The key must uniquely
+// describe (benchmark, prefetcher, system config).
+func (s *Session) run(key string, bench workload.Params, pf func() prefetch.Prefetcher, mut func(*sim.Config)) sim.Result {
+	if r, ok := s.memo[key]; ok {
+		s.cacheHits++
+		return r
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Core.OnChipCPI = bench.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
+	if mut != nil {
+		mut(&cfg)
+	}
+	res := sim.Run(workload.New(bench), pf(), cfg)
+	s.memo[key] = res
+	s.runs++
+	if s.opts.Progress != nil {
+		fmt.Fprintf(s.opts.Progress, "  ran %-40s CPI %.3f\n", key, res.CPI())
+	}
+	return res
+}
+
+// baseline returns the no-prefetching run for a benchmark.
+func (s *Session) baseline(bench workload.Params) sim.Result {
+	return s.run("base/"+bench.Name, bench, func() prefetch.Prefetcher { return prefetch.None{} }, nil)
+}
+
+// Row is one line of a report: a label and one value per column.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID    string
+	Title string
+	// Unit labels the values ("%", "CPI", ...).
+	Unit    string
+	Columns []string
+	Rows    []Row
+	// Reference carries the paper's values for rows with the same labels
+	// (NaN-free subset; missing rows mean the paper gives no number).
+	Reference []Row
+	Notes     []string
+}
+
+// refFor finds the paper's row for a label.
+func (r *Report) refFor(label string) *Row {
+	for i := range r.Reference {
+		if r.Reference[i].Label == label {
+			return &r.Reference[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the report as an aligned text table, interleaving paper
+// reference rows where available.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s", r.ID, r.Title)
+	if r.Unit != "" {
+		fmt.Fprintf(w, " (%s)", r.Unit)
+	}
+	fmt.Fprintln(w)
+
+	labelW := len("label")
+	for _, row := range r.Rows {
+		if len(row.Label)+8 > labelW {
+			labelW = len(row.Label) + 8
+		}
+	}
+	colW := 10
+	for _, c := range r.Columns {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", labelW, "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(w, "%*s", colW, c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-*s", labelW, row.Label)
+		for _, v := range row.Values {
+			fmt.Fprintf(w, "%*.2f", colW, v)
+		}
+		fmt.Fprintln(w)
+		if ref := r.refFor(row.Label); ref != nil {
+			fmt.Fprintf(w, "  %-*s", labelW, "  (paper)")
+			for _, v := range ref.Values {
+				fmt.Fprintf(w, "%*.2f", colW, v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// Value looks up a measured value by row label and column name (for
+// tests). ok is false if either is absent.
+func (r *Report) Value(label, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == label && ci < len(row.Values) {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}
+
+// benchmarks returns the session's workload set.
+func (s *Session) benchmarks() []workload.Params {
+	if s.opts.Benchmarks != nil {
+		return s.opts.Benchmarks
+	}
+	return workload.All()
+}
+
+// benchColumns returns the benchmark names in paper order.
+func (s *Session) benchColumns() []string {
+	var cols []string
+	for _, b := range s.benchmarks() {
+		cols = append(cols, b.Name)
+	}
+	return cols
+}
+
+// sortedKeys is a test helper for deterministic memo iteration.
+func sortedKeys(m map[string]sim.Result) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

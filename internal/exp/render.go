@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// RenderCSV writes the report as CSV: a header row of columns, one row
+// per measured series, and `paper:`-prefixed rows for the reference
+// values the paper states.
+func (r *Report) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"label"}, r.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	writeRow := func(prefix string, row Row) error {
+		rec := make([]string, 0, len(row.Values)+1)
+		rec = append(rec, prefix+row.Label)
+		for _, v := range row.Values {
+			rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		return cw.Write(rec)
+	}
+	for _, row := range r.Rows {
+		if err := writeRow("", row); err != nil {
+			return err
+		}
+		if ref := r.refFor(row.Label); ref != nil {
+			if err := writeRow("paper:", *ref); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RenderMarkdown writes the report as a GitHub-flavored markdown table
+// with the paper's reference rows italicized beneath their measured rows.
+func (r *Report) RenderMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s", r.ID, r.Title)
+	if r.Unit != "" {
+		fmt.Fprintf(&b, " (%s)", r.Unit)
+	}
+	b.WriteString("\n\n| |")
+	for _, c := range r.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range r.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s |", row.Label)
+		for _, v := range row.Values {
+			fmt.Fprintf(&b, " %.2f |", v)
+		}
+		b.WriteString("\n")
+		if ref := r.refFor(row.Label); ref != nil {
+			fmt.Fprintf(&b, "| *paper* |")
+			for _, v := range ref.Values {
+				fmt.Fprintf(&b, " *%.2f* |", v)
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	b.WriteString("\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderFormat dispatches on a format name: "text" (default), "csv" or
+// "markdown"/"md".
+func (r *Report) RenderFormat(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		r.Render(w)
+		return nil
+	case "csv":
+		return r.RenderCSV(w)
+	case "markdown", "md":
+		return r.RenderMarkdown(w)
+	}
+	return fmt.Errorf("exp: unknown format %q (text|csv|markdown)", format)
+}

@@ -1,0 +1,139 @@
+package prefetch
+
+import "ebcp/internal/amo"
+
+// Stream is the hardware stream prefetcher of Section 5.3: the kind
+// implemented in the IBM Power 5, Fujitsu SPARC64-VI, AMD Opteron and
+// Intel Pentium 4. It tracks up to 32 concurrent streams, handles
+// positive, negative and non-unit strides, and on detection and
+// confirmation of a stream issues Degree prefetch requests and then tries
+// to stay Degree strides ahead of the demand stream. It trains on the
+// load miss stream only (no instruction prefetching).
+type Stream struct {
+	// MaxStreams is the number of concurrently tracked streams (32 in the
+	// paper's configuration).
+	MaxStreams int
+	// Degree is how many strides ahead the prefetcher runs (6 in the
+	// paper's comparison).
+	Degree int
+	// MaxStride bounds the line stride magnitude considered a stream; a
+	// delta beyond it allocates a new stream instead.
+	MaxStride int64
+
+	streams []streamEntry
+	stamp   uint64
+}
+
+type streamEntry struct {
+	valid     bool
+	lastLine  amo.Line
+	stride    int64
+	confirmed int   // consecutive stride confirmations
+	ahead     int64 // strides already prefetched past lastLine
+	lru       uint64
+}
+
+// NewStream builds the paper's stream prefetcher configuration.
+func NewStream(maxStreams, degree int) *Stream {
+	if maxStreams <= 0 || degree <= 0 {
+		panic("prefetch: stream prefetcher needs positive streams and degree")
+	}
+	return &Stream{
+		MaxStreams: maxStreams,
+		Degree:     degree,
+		MaxStride:  64, // within a 4KB page either direction
+		streams:    make([]streamEntry, maxStreams),
+	}
+}
+
+// Name implements Prefetcher.
+func (s *Stream) Name() string { return "stream" }
+
+// OnAccess implements Prefetcher.
+func (s *Stream) OnAccess(a Access, ctx *Context) {
+	// Loads only, and only the miss stream trains stride detection
+	// (prefetch-buffer hits keep confirmed streams running).
+	if a.IFetch || a.L2Hit || a.MissMerged {
+		return
+	}
+	s.stamp++
+	line := a.Line
+
+	// Find the stream this access extends: either it lands exactly one
+	// stride past lastLine (confirmation), or it is near an unconfirmed
+	// stream head (stride learning).
+	best := -1
+	for i := range s.streams {
+		st := &s.streams[i]
+		if !st.valid {
+			continue
+		}
+		delta := int64(line) - int64(st.lastLine)
+		if delta == 0 {
+			// Same line again (MSHR-merged in real hardware): refresh.
+			st.lru = s.stamp
+			return
+		}
+		if st.confirmed > 0 {
+			if delta == st.stride {
+				best = i
+				break
+			}
+			continue
+		}
+		if delta >= -s.MaxStride && delta <= s.MaxStride {
+			best = i
+			break
+		}
+	}
+
+	if best < 0 {
+		s.allocate(line)
+		return
+	}
+
+	st := &s.streams[best]
+	delta := int64(line) - int64(st.lastLine)
+	switch {
+	case st.confirmed == 0:
+		// Learn the stride; confirmation pending.
+		st.stride = delta
+		st.confirmed = 1
+	case delta == st.stride:
+		st.confirmed++
+	}
+	st.lastLine = line
+	st.lru = s.stamp
+	if st.ahead > 0 {
+		st.ahead-- // the demand stream consumed one prefetched stride
+	}
+
+	if st.confirmed < 2 {
+		return
+	}
+	// Confirmed stream: top up to Degree strides ahead.
+	for st.ahead < int64(s.Degree) {
+		st.ahead++
+		target := st.lastLine.Add(st.stride * st.ahead)
+		ctx.Prefetch(a.Now, target, NoTable)
+	}
+}
+
+func (s *Stream) allocate(line amo.Line) {
+	vi := 0
+	for i := range s.streams {
+		if !s.streams[i].valid {
+			vi = i
+			goto place
+		}
+		if s.streams[i].lru < s.streams[vi].lru {
+			vi = i
+		}
+	}
+place:
+	s.streams[vi] = streamEntry{valid: true, lastLine: line, lru: s.stamp}
+}
+
+// NoTable aliases cache.NoTableIndex for prefetchers without a
+// correlation table.
+const NoTable int64 = -1

@@ -1,0 +1,186 @@
+package prefetch
+
+import "ebcp/internal/amo"
+
+// TCP is the Tag Correlating Prefetcher of Hu, Martonosi and Kaxiras
+// (HPCA 2003), the paper's second comparison point. Instead of
+// correlating full miss addresses, TCP correlates cache *tags* within a
+// set: a Tag History Table (THT) keeps the last two miss tags of each
+// cache set, and a Pattern History Table (PHT), indexed by a hash of that
+// tag history, predicts the next tag. Chained PHT lookups generate
+// deeper prefetches. TCP targets load misses only.
+//
+// Two configurations are evaluated (Section 5.3): TCP small with 2048
+// PHT sets of 16 ways (~256KB at 45-bit physical addresses) and TCP
+// large with 32K PHT sets of 16 ways (~4MB). The THT has 128 entries,
+// matching the number of sets in the simulated L1 data cache.
+type TCP struct {
+	label   string
+	degree  int
+	histLen int // tags of history per prediction (1 = TCP-1, 2 = TCP-2)
+	setBits uint
+
+	tht []thtEntry
+	pht *phtTable
+}
+
+type thtEntry struct {
+	tags  [2]uint64 // [0] most recent
+	valid int
+}
+
+// phtTable is a set-associative tag-prediction table with LRU
+// replacement.
+type phtTable struct {
+	sets  int
+	ways  int
+	lines []phtWay
+	stamp uint64
+}
+
+type phtWay struct {
+	key     uint64 // full history hash, acts as the tag
+	nextTag uint64
+	valid   bool
+	// confident is set once the same successor has been observed twice in
+	// a row; only confident mappings generate prefetches (the hysteresis
+	// keeps near-random set streams from flooding the prefetch buffer).
+	confident bool
+	lru       uint64
+}
+
+func newPHT(sets, ways int) *phtTable {
+	return &phtTable{sets: sets, ways: ways, lines: make([]phtWay, sets*ways)}
+}
+
+func (p *phtTable) set(key uint64) []phtWay {
+	si := int(key % uint64(p.sets))
+	return p.lines[si*p.ways : (si+1)*p.ways]
+}
+
+func (p *phtTable) lookup(key uint64) (next uint64, confident, ok bool) {
+	set := p.set(key)
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			p.stamp++
+			set[i].lru = p.stamp
+			return set[i].nextTag, set[i].confident, true
+		}
+	}
+	return 0, false, false
+}
+
+func (p *phtTable) update(key, nextTag uint64) {
+	set := p.set(key)
+	p.stamp++
+	for i := range set {
+		if set[i].valid && set[i].key == key {
+			set[i].confident = set[i].nextTag == nextTag
+			set[i].nextTag = nextTag
+			set[i].lru = p.stamp
+			return
+		}
+	}
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			goto place
+		}
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+place:
+	set[vi] = phtWay{key: key, nextTag: nextTag, valid: true, lru: p.stamp}
+}
+
+// NewTCP builds a tag correlating prefetcher. thtSets should match the L1
+// data cache set count (128 in the default configuration).
+func NewTCP(label string, thtSets, phtSets, phtWays, degree int) *TCP {
+	if thtSets <= 0 || !amo.IsPow2(uint64(thtSets)) {
+		panic("prefetch: TCP THT sets must be a power of two")
+	}
+	if phtSets <= 0 || phtWays <= 0 || degree <= 0 {
+		panic("prefetch: invalid TCP shape")
+	}
+	return &TCP{
+		label:   label,
+		degree:  degree,
+		histLen: 1,
+		setBits: amo.Log2(uint64(thtSets)),
+		tht:     make([]thtEntry, thtSets),
+		pht:     newPHT(phtSets, phtWays),
+	}
+}
+
+// SetHistoryLength selects the tag-history depth (1 = TCP-1, the more
+// robust variant on interleaved commercial miss streams; 2 = TCP-2).
+func (t *TCP) SetHistoryLength(n int) *TCP {
+	if n < 1 || n > 2 {
+		panic("prefetch: TCP history length must be 1 or 2")
+	}
+	t.histLen = n
+	return t
+}
+
+// TCPSmall is the ~256KB configuration of Section 5.3.
+func TCPSmall(degree int) *TCP { return NewTCP("TCP small", 128, 2048, 16, degree) }
+
+// TCPLarge is the ~4MB configuration of Section 5.3.
+func TCPLarge(degree int) *TCP { return NewTCP("TCP large", 128, 32<<10, 16, degree) }
+
+// Name implements Prefetcher.
+func (t *TCP) Name() string { return t.label }
+
+// historyKey hashes a set index and its most recent tag(s) into a PHT
+// key.
+func (t *TCP) historyKey(set int, tags [2]uint64) uint64 {
+	const m1, m2 = 0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9
+	h := uint64(set)
+	h = (h ^ tags[0]) * m1
+	if t.histLen > 1 {
+		h = (h ^ tags[1]) * m2
+	}
+	return h ^ (h >> 29)
+}
+
+// OnAccess implements Prefetcher.
+func (t *TCP) OnAccess(a Access, ctx *Context) {
+	if a.IFetch || a.L2Hit || a.MissMerged {
+		return
+	}
+	nSets := len(t.tht)
+	set := a.Line.SetIndex(nSets)
+	tag := a.Line.Tag(t.setBits)
+
+	e := &t.tht[set]
+	// Train: previous history predicts this tag.
+	if e.valid >= t.histLen {
+		t.pht.update(t.historyKey(set, e.tags), tag)
+	}
+	// Shift the new tag into the history.
+	e.tags[1] = e.tags[0]
+	e.tags[0] = tag
+	if e.valid < t.histLen {
+		e.valid++
+		return
+	}
+	if e.valid < 2 {
+		e.valid++
+	}
+
+	// Predict: chain PHT lookups to the configured depth, following only
+	// confident mappings.
+	hist := e.tags
+	for i := 0; i < t.degree; i++ {
+		next, confident, ok := t.pht.lookup(t.historyKey(set, hist))
+		if !ok || !confident {
+			return
+		}
+		line := amo.Line(next<<t.setBits | uint64(set))
+		ctx.Prefetch(a.Now, line, NoTable)
+		hist[1] = hist[0]
+		hist[0] = next
+	}
+}

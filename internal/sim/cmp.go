@@ -1,0 +1,178 @@
+// Chip-multiprocessor mode: the paper's future-work direction (Section 6)
+// and the setting its placement argument (Section 3.3.1) is about. N
+// hardware threads run their own traces on private cores and L1 caches,
+// sharing the L2, the prefetch buffer, the memory interconnect and one
+// prefetcher. The prefetcher control sits in front of the core-to-L2
+// crossbar and therefore sees each thread's miss stream separately
+// (Access.Core); a memory-side engine such as Solihin's instead trains on
+// the interleaved stream, which is exactly why it degrades as cores are
+// added.
+package sim
+
+import (
+	"fmt"
+
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+)
+
+// CMPResult carries the per-thread and aggregate statistics of a
+// multi-core run.
+type CMPResult struct {
+	Prefetcher string
+	// PerCore results: the Core/L1/miss counters are per-thread; the
+	// shared L2/PB/Mem/PF statistics are duplicated into each entry.
+	PerCore []Result
+}
+
+// Instructions returns aggregate retired instructions.
+func (r CMPResult) Instructions() uint64 {
+	var n uint64
+	for _, c := range r.PerCore {
+		n += c.Core.Instructions
+	}
+	return n
+}
+
+// Cycles returns the longest per-thread cycle count (the threads run
+// concurrently; wall-clock is the slowest lane).
+func (r CMPResult) Cycles() uint64 {
+	var max uint64
+	for _, c := range r.PerCore {
+		if c.Core.Cycles > max {
+			max = c.Core.Cycles
+		}
+	}
+	return max
+}
+
+// AggregateIPC returns summed instructions per (max) cycle — the
+// throughput metric of a CMP.
+func (r CMPResult) AggregateIPC() float64 {
+	cy := r.Cycles()
+	if cy == 0 {
+		return 0
+	}
+	return float64(r.Instructions()) / float64(cy)
+}
+
+// Coverage returns the aggregate prefetch coverage across threads.
+func (r CMPResult) Coverage() float64 {
+	var hits, miss uint64
+	for _, c := range r.PerCore {
+		hits += c.PBHitsIFetch + c.PBHitsLoad
+		miss += c.L2MissesIFetch + c.L2MissesLoad
+	}
+	if hits+miss == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+miss)
+}
+
+// Speedup returns this run's aggregate IPC over a baseline run's.
+func (r CMPResult) Speedup(baseline CMPResult) float64 {
+	b := baseline.AggregateIPC()
+	if b == 0 {
+		return 0
+	}
+	return r.AggregateIPC() / b
+}
+
+// RunCMP simulates cores running the given traces (one per hardware
+// thread) on a shared-L2 machine with a shared prefetcher. Lanes are
+// advanced lowest-local-clock first, so shared-resource requests arrive
+// in near-global time order and the miss streams interleave the way they
+// would on real hardware. Warmup and measurement windows apply per
+// thread.
+func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResult {
+	if len(sources) == 0 {
+		panic("sim: RunCMP needs at least one trace source")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	r := NewRunner(cfg, pf) // provides the shared half; lane 0 included
+	lanes := make([]*lane, len(sources))
+	lanes[0] = r.lane
+	for i := 1; i < len(sources); i++ {
+		lanes[i] = newLane(i, cfg)
+	}
+
+	warmEnd := cfg.WarmInsts
+	measureEnd := make([]uint64, len(lanes))
+	running := make([]bool, len(lanes))
+	warmedAll := warmEnd == 0
+	warmedLane := make([]bool, len(lanes))
+	for i := range running {
+		running[i] = true
+		warmedLane[i] = warmedAll
+	}
+
+	resetAll := func() {
+		for i, l := range lanes {
+			l.resetStats()
+			measureEnd[i] = l.core.Insts() + cfg.MeasureInsts
+		}
+		r.l2.ResetStats()
+		r.pb.ResetStats()
+		r.mem.ResetStats()
+		r.ctx.ResetStats()
+		if rs, ok := pf.(interface{ ResetStats() }); ok {
+			rs.ResetStats()
+		}
+	}
+	if warmedAll {
+		resetAll()
+	}
+
+	active := len(lanes)
+	for active > 0 {
+		// Advance the lane with the smallest local clock.
+		li := -1
+		for i, l := range lanes {
+			if running[i] && (li < 0 || l.core.Now() < lanes[li].core.Now()) {
+				li = i
+			}
+		}
+		l := lanes[li]
+		rec, ok := sources[li].Next()
+		if !ok {
+			running[li] = false
+			active--
+			continue
+		}
+		r.step(l, rec)
+
+		if !warmedAll {
+			if !warmedLane[li] && l.core.Insts() >= warmEnd {
+				warmedLane[li] = true
+				all := true
+				for _, w := range warmedLane {
+					all = all && w
+				}
+				if all {
+					warmedAll = true
+					resetAll()
+				}
+			}
+			continue
+		}
+		if l.core.Insts() >= measureEnd[li] {
+			running[li] = false
+			active--
+		}
+	}
+
+	out := CMPResult{Prefetcher: pf.Name()}
+	for _, l := range lanes {
+		l.core.CloseEpoch()
+		out.PerCore = append(out.PerCore, r.laneResult(l))
+	}
+	return out
+}
+
+// String summarizes the CMP result.
+func (r CMPResult) String() string {
+	return fmt.Sprintf("%s: %d cores, aggregate IPC %.3f, coverage %.2f",
+		r.Prefetcher, len(r.PerCore), r.AggregateIPC(), r.Coverage())
+}

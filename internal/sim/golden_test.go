@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+
+	"ebcp/internal/core"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/workload"
+)
+
+// TestGoldenCycleCounts pins exact results of short deterministic runs.
+// Its purpose is regression detection: any change to the workload
+// generators, the core timing model, the caches, the interconnect or the
+// prefetcher changes these numbers, and that is the point — behavioural
+// changes must be deliberate. When an intentional modelling or
+// calibration change lands, regenerate the table (the test failure
+// message prints the new values) and re-validate EXPERIMENTS.md.
+func TestGoldenCycleCounts(t *testing.T) {
+	golden := []struct {
+		name                 string
+		baseCycles, baseMiss uint64
+		ebcpCycles, ebcpHits uint64
+	}{
+		{"Database", 6932126, 13574, 6927303, 20},
+		{"TPC-W", 4945873, 2937, 4945873, 0},
+		{"SPECjbb2005", 4696999, 9466, 4691924, 27},
+		{"SPECjAppServer2004", 6817863, 6198, 6814708, 16},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			b, err := workload.ByName(g.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Core.OnChipCPI = b.OnChipCPI
+			cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
+
+			base := Run(workload.New(b), prefetch.None{}, cfg)
+			pf := Run(workload.New(b), core.New(core.DefaultConfig()), cfg)
+			hits := pf.PB.Hits + pf.PB.PartialHits
+
+			if base.Core.Cycles != g.baseCycles || base.L2MissesLoad != g.baseMiss ||
+				pf.Core.Cycles != g.ebcpCycles || hits != g.ebcpHits {
+				t.Errorf("golden drift for %s:\n  got  {%q, %d, %d, %d, %d}\n  want {%q, %d, %d, %d, %d}\n"+
+					"if this change is intentional, update the golden table and re-validate EXPERIMENTS.md",
+					g.name,
+					g.name, base.Core.Cycles, base.L2MissesLoad, pf.Core.Cycles, hits,
+					g.name, g.baseCycles, g.baseMiss, g.ebcpCycles, g.ebcpHits)
+			}
+		})
+	}
+}

@@ -1,0 +1,458 @@
+// Package sim assembles the full system: the condensed-trace core model,
+// the L1/L2 cache hierarchy, the prefetch buffer, the bandwidth-constrained
+// memory system and a prefetcher, and runs warmup + measurement windows
+// collecting the statistics the paper's evaluation reports (overall CPI,
+// epochs per instruction, L2 instruction/load miss rates, prefetch
+// coverage and accuracy, memory traffic).
+package sim
+
+import (
+	"fmt"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/cache"
+	"ebcp/internal/cpu"
+	"ebcp/internal/mem"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+)
+
+// Config describes a full simulated system (defaults follow Section 4.4).
+type Config struct {
+	Core cpu.Config
+	L1I  cache.Config
+	L1D  cache.Config
+	L2   cache.Config
+	Mem  mem.Config
+	// PBEntries/PBWays shape the prefetch buffer (64 entries 4-way tuned;
+	// 1024 in the idealized design-space runs).
+	PBEntries int
+	PBWays    int
+	// WarmInsts instructions warm the caches and predictors; MeasureInsts
+	// are then measured (150M + 100M in the paper).
+	WarmInsts    uint64
+	MeasureInsts uint64
+}
+
+// DefaultConfig is the paper's default processor configuration. The
+// on-chip CPI is workload-calibrated and set by the workload package.
+func DefaultConfig() Config {
+	return Config{
+		Core:         cpu.Config{ROBSize: 128, OnChipCPI: 1.0, MaxOutstanding: 32},
+		L1I:          cache.Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 4, HitLatency: 3},
+		L1D:          cache.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 4, HitLatency: 3},
+		L2:           cache.Config{Name: "L2", SizeBytes: 2 << 20, Ways: 4, HitLatency: 20},
+		Mem:          mem.DefaultConfig(),
+		PBEntries:    64,
+		PBWays:       4,
+		WarmInsts:    150_000_000,
+		MeasureInsts: 100_000_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2} {
+		if err := cc.Validate(); err != nil {
+			return err
+		}
+	}
+	if err := c.Mem.Validate(); err != nil {
+		return err
+	}
+	if c.PBEntries <= 0 || c.PBWays <= 0 {
+		return fmt.Errorf("sim: prefetch buffer shape must be positive")
+	}
+	if c.MeasureInsts == 0 {
+		return fmt.Errorf("sim: measurement window must be positive")
+	}
+	return nil
+}
+
+// Result carries all measured statistics of one run.
+type Result struct {
+	Prefetcher string
+	Core       cpu.Stats
+	L1I, L1D   cache.Stats
+	L2         cache.Stats
+	PB         cache.PBStats
+	Mem        mem.Stats
+	PF         prefetch.Stats
+
+	// Off-chip demand misses by kind (excluding merged/duplicate).
+	L2MissesIFetch uint64
+	L2MissesLoad   uint64
+	L2MissesStore  uint64
+	// Prefetch-buffer hits by kind (full + partial).
+	PBHitsIFetch uint64
+	PBHitsLoad   uint64
+}
+
+// CPI returns overall cycles per instruction.
+func (r Result) CPI() float64 { return r.Core.CPI() }
+
+// EPKI returns epochs per 1000 instructions.
+func (r Result) EPKI() float64 { return r.Core.EPKI() }
+
+func per1000(n, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(n) / float64(insts)
+}
+
+// IFetchMPKI returns off-chip instruction misses per 1000 instructions.
+func (r Result) IFetchMPKI() float64 { return per1000(r.L2MissesIFetch, r.Core.Instructions) }
+
+// LoadMPKI returns off-chip load misses per 1000 instructions.
+func (r Result) LoadMPKI() float64 { return per1000(r.L2MissesLoad, r.Core.Instructions) }
+
+// Coverage returns the fraction of would-be off-chip misses satisfied by
+// the prefetch buffer: hits / (hits + remaining misses).
+func (r Result) Coverage() float64 {
+	hits := r.PBHitsIFetch + r.PBHitsLoad
+	total := hits + r.L2MissesIFetch + r.L2MissesLoad
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// Accuracy returns used prefetches / issued prefetches.
+func (r Result) Accuracy() float64 {
+	return r.PF.Accuracy(r.PBHitsIFetch + r.PBHitsLoad)
+}
+
+// Improvement returns the overall performance improvement of this run
+// relative to a baseline run: CPIbase/CPI - 1 (the paper's primary
+// metric).
+func (r Result) Improvement(baseline Result) float64 {
+	if r.CPI() == 0 {
+		return 0
+	}
+	return baseline.CPI()/r.CPI() - 1
+}
+
+// EPIReduction returns the relative reduction in epochs per instruction
+// against a baseline run.
+func (r Result) EPIReduction(baseline Result) float64 {
+	if baseline.EPKI() == 0 {
+		return 0
+	}
+	return 1 - r.EPKI()/baseline.EPKI()
+}
+
+// lane is the per-hardware-thread half of the machine: a core model, its
+// private L1 caches and its miss bookkeeping. The L2, prefetch buffer,
+// memory system and prefetcher are shared across lanes.
+type lane struct {
+	id   int
+	core *cpu.Model
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+
+	// Per-epoch duplicate-miss filter (MSHR merge behaviour).
+	outstanding map[amo.Line]struct{}
+	outEpoch    uint64
+
+	// Kind-resolved counters for the measurement window.
+	missIF, missLD, missST uint64
+	pbHitIF, pbHitLD       uint64
+}
+
+func newLane(id int, cfg Config) *lane {
+	return &lane{
+		id:          id,
+		core:        cpu.New(cfg.Core),
+		l1i:         cache.New(cfg.L1I),
+		l1d:         cache.New(cfg.L1D),
+		outstanding: make(map[amo.Line]struct{}, 64),
+	}
+}
+
+func (l *lane) resetStats() {
+	l.core.ResetStats()
+	l.l1i.ResetStats()
+	l.l1d.ResetStats()
+	l.missIF, l.missLD, l.missST = 0, 0, 0
+	l.pbHitIF, l.pbHitLD = 0, 0
+}
+
+// Runner is an assembled system ready to execute a trace.
+type Runner struct {
+	cfg Config
+	pf  prefetch.Prefetcher
+
+	lane *lane
+	l2   *cache.Cache
+	pb   *cache.PrefetchBuffer
+	mem  *mem.System
+	ctx  *prefetch.Context
+}
+
+// NewRunner assembles a single-core system. It panics on invalid
+// configuration (configurations are code, not user input).
+func NewRunner(cfg Config, pf prefetch.Prefetcher) *Runner {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := mem.New(cfg.Mem)
+	l2 := cache.New(cfg.L2)
+	pb := cache.NewPrefetchBuffer(cfg.PBEntries, cfg.PBWays)
+	return &Runner{
+		cfg:  cfg,
+		pf:   pf,
+		lane: newLane(0, cfg),
+		l2:   l2,
+		pb:   pb,
+		mem:  m,
+		ctx:  prefetch.NewContext(m, pb, l2),
+	}
+}
+
+// Run executes warmup then measurement over the trace source and returns
+// the measured statistics.
+func Run(src trace.Source, pf prefetch.Prefetcher, cfg Config) Result {
+	r := NewRunner(cfg, pf)
+	return r.Run(src)
+}
+
+// Run executes the runner's warmup and measurement windows.
+func (r *Runner) Run(src trace.Source) Result {
+	warmEnd := r.cfg.WarmInsts
+	measureEnd := warmEnd + r.cfg.MeasureInsts
+	warmed := warmEnd == 0
+	if warmed {
+		r.resetStats()
+	}
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		r.step(r.lane, rec)
+		if !warmed && r.lane.core.Insts() >= warmEnd {
+			r.resetStats()
+			warmed = true
+			measureEnd = r.lane.core.Insts() + r.cfg.MeasureInsts
+		}
+		if warmed && r.lane.core.Insts() >= measureEnd {
+			break
+		}
+	}
+	r.lane.core.CloseEpoch()
+	return r.result()
+}
+
+func (r *Runner) resetStats() {
+	r.lane.resetStats()
+	r.l2.ResetStats()
+	r.pb.ResetStats()
+	r.mem.ResetStats()
+	r.ctx.ResetStats()
+	if rs, ok := r.pf.(interface{ ResetStats() }); ok {
+		rs.ResetStats()
+	}
+}
+
+// laneResult assembles a Result from one lane plus the shared components.
+func (r *Runner) laneResult(l *lane) Result {
+	return Result{
+		Prefetcher:     r.pf.Name(),
+		Core:           l.core.Stats(),
+		L1I:            l.l1i.Stats(),
+		L1D:            l.l1d.Stats(),
+		L2:             r.l2.Stats(),
+		PB:             r.pb.Stats(),
+		Mem:            r.mem.Stats(),
+		PF:             r.ctx.Stats(),
+		L2MissesIFetch: l.missIF,
+		L2MissesLoad:   l.missLD,
+		L2MissesStore:  l.missST,
+		PBHitsIFetch:   l.pbHitIF,
+		PBHitsLoad:     l.pbHitLD,
+	}
+}
+
+func (r *Runner) result() Result { return r.laneResult(r.lane) }
+
+// step processes one condensed trace record on a lane.
+func (r *Runner) step(l *lane, rec trace.Record) {
+	l.core.Advance(uint64(rec.Gap) + 1)
+
+	// Clear the duplicate-miss filter when the epoch it belonged to is
+	// gone.
+	if !l.core.InEpoch() || l.core.EpochID() != l.outEpoch {
+		if len(l.outstanding) != 0 {
+			clear(l.outstanding)
+		}
+		l.outEpoch = l.core.EpochID()
+	}
+
+	line := amo.LineOf(rec.Addr)
+	switch rec.Kind {
+	case trace.Store:
+		r.stepStore(l, rec, line)
+	case trace.IFetch, trace.Load:
+		r.stepRead(l, rec, line)
+	}
+	if rec.BreaksWindow {
+		l.core.BreakWindow()
+	}
+}
+
+// stepStore handles a store: under weak consistency store misses are
+// absorbed by the store buffer — they consume memory bandwidth but never
+// stall the core, terminate windows or train prefetchers.
+func (r *Runner) stepStore(l *lane, rec trace.Record, line amo.Line) {
+	if rec.Serializing {
+		l.core.Serialize()
+	}
+	if l.l1d.Access(line) {
+		return
+	}
+	// Keep the prefetch buffer coherent with stores.
+	r.pb.Invalidate(line)
+	if r.l2.Access(line) {
+		l.l1d.Fill(line, false)
+		return
+	}
+	// Write-allocate fetch of the line, posted.
+	r.mem.Read(l.core.Now(), mem.Demand)
+	r.l2fill(l, line, true)
+	l.l1d.Fill(line, false)
+	l.missST++
+}
+
+// l2fill installs a line in the shared L2, charging the writeback of a
+// dirty victim to the demand write bus.
+func (r *Runner) l2fill(l *lane, line amo.Line, dirty bool) {
+	if _, _, victimDirty := r.l2.Fill(line, dirty); victimDirty {
+		r.mem.Write(l.core.Now(), mem.Demand)
+	}
+}
+
+// stepRead handles an instruction fetch or load.
+func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
+	ifetch := rec.Kind == trace.IFetch
+	l1 := l.l1d
+	if ifetch {
+		l1 = l.l1i
+	}
+	if l1.Access(line) {
+		// L1 hit: cost folded into the calibrated on-chip CPI; the
+		// prefetcher control (in front of the core-to-L2 crossbar) never
+		// sees it.
+		if rec.Serializing {
+			l.core.Serialize()
+		}
+		return
+	}
+
+	a := prefetch.Access{
+		Core:         l.id,
+		Inst:         l.core.Insts(),
+		Line:         line,
+		PC:           rec.PC,
+		IFetch:       ifetch,
+		Dependent:    rec.DependsOnMiss,
+		PBTableIndex: cache.NoTableIndex,
+	}
+
+	switch {
+	case l.outstandingMiss(line):
+		// A miss to this line is already in flight in the open epoch: the
+		// request merges into the existing MSHR entry — no new traffic, no
+		// new epoch. A dependent or serializing merged access still
+		// terminates the window (it needs the in-flight data).
+		if rec.DependsOnMiss || rec.Serializing {
+			l.core.PrepareMiss(rec.DependsOnMiss, rec.Serializing)
+		}
+		a.Miss = true
+		a.MissMerged = true
+
+	case r.l2.Access(line):
+		// L2 hit.
+		if rec.Serializing {
+			l.core.Serialize()
+		}
+		l.core.AddLatency(r.cfg.L2.HitLatency)
+		l1.Fill(line, false)
+		a.L2Hit = true
+
+	default:
+		e, hit, partial := r.pb.Hit(line, l.core.Now())
+		switch {
+		case hit && !partial:
+			// Prefetch buffer hit: the line is on chip; promote it to the
+			// regular caches (it satisfied a demand request).
+			if rec.Serializing {
+				l.core.Serialize()
+			}
+			l.core.AddLatency(r.cfg.L2.HitLatency)
+			r.l2fill(l, line, false)
+			l1.Fill(line, false)
+			a.PBHit = true
+			a.PBTableIndex = e.TableIndex
+			l.countPBHit(ifetch)
+
+		case hit: // partial: in flight
+			issueAt := l.core.PrepareMiss(rec.DependsOnMiss, rec.Serializing)
+			completion := e.ReadyAt
+			if completion < issueAt {
+				completion = issueAt
+			}
+			a.NewEpoch = l.core.Miss(completion, ifetch)
+			r.l2fill(l, line, false)
+			l1.Fill(line, false)
+			a.PBHit = true
+			a.PBPartial = true
+			a.PBTableIndex = e.TableIndex
+			l.countPBHit(ifetch)
+
+		default:
+			// Real off-chip miss.
+			issueAt := l.core.PrepareMiss(rec.DependsOnMiss, rec.Serializing)
+			completion, _ := r.mem.Read(issueAt, mem.Demand)
+			a.NewEpoch = l.core.Miss(completion, ifetch)
+			l.noteOutstanding(line)
+			r.l2fill(l, line, false)
+			l1.Fill(line, false)
+			a.Miss = true
+			if ifetch {
+				l.missIF++
+			} else {
+				l.missLD++
+			}
+		}
+	}
+
+	a.Now = l.core.Now()
+	a.EpochID = l.core.EpochID()
+	r.pf.OnAccess(a, r.ctx)
+}
+
+func (l *lane) countPBHit(ifetch bool) {
+	if ifetch {
+		l.pbHitIF++
+	} else {
+		l.pbHitLD++
+	}
+}
+
+// outstandingMiss reports whether a miss to the line is already in flight
+// within the open epoch.
+func (l *lane) outstandingMiss(line amo.Line) bool {
+	if !l.core.InEpoch() {
+		return false
+	}
+	_, ok := l.outstanding[line]
+	return ok
+}
+
+func (l *lane) noteOutstanding(line amo.Line) {
+	if l.core.InEpoch() {
+		l.outstanding[line] = struct{}{}
+		l.outEpoch = l.core.EpochID()
+	}
+}

@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ebcp/internal/amo"
+)
+
+// Binary trace format:
+//
+//	header:  magic "EBCPTRC1" (8 bytes)
+//	records: repeated, each varint-encoded:
+//	  gap     uvarint
+//	  kind+flags  1 byte  (bits 0-1 kind, bit 2 depends, bit 3 serializing,
+//	                       bit 4 pc-equals-addr)
+//	  addr    uvarint (delta-zigzag against previous addr of same kind)
+//	  pc      uvarint (absolute; omitted when pc == addr)
+//
+// The format is append-only and streamable; it exists so generated
+// workloads can be saved with cmd/tracegen and replayed byte-identically.
+
+var magic = [8]byte{'E', 'B', 'C', 'P', 'T', 'R', 'C', '1'}
+
+// ErrBadMagic is returned when a trace file does not start with the
+// expected header.
+var ErrBadMagic = errors.New("trace: bad magic; not an EBCP trace file")
+
+const (
+	flagDepends    = 1 << 2
+	flagSerialize  = 1 << 3
+	flagPCIsAddr   = 1 << 4
+	flagBreaks     = 1 << 5
+	kindMask       = 0x3
+	maxSaneGap     = 1 << 30
+	maxSaneVarAddr = uint64(amo.AddrMask)
+)
+
+// Writer encodes records to an io.Writer.
+type Writer struct {
+	w        *bufio.Writer
+	buf      [binary.MaxVarintLen64]byte
+	prevAddr [numKinds]uint64
+	started  bool
+	count    uint64
+}
+
+// NewWriter creates a trace writer on w. The header is written lazily on
+// the first record (or on Flush).
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (tw *Writer) ensureHeader() error {
+	if tw.started {
+		return nil
+	}
+	tw.started = true
+	_, err := tw.w.Write(magic[:])
+	return err
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if err := tw.ensureHeader(); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(tw.buf[:], uint64(r.Gap))
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return err
+	}
+	flags := byte(r.Kind) & kindMask
+	if r.DependsOnMiss {
+		flags |= flagDepends
+	}
+	if r.Serializing {
+		flags |= flagSerialize
+	}
+	if r.BreaksWindow {
+		flags |= flagBreaks
+	}
+	if uint64(r.PC) == uint64(r.Addr) {
+		flags |= flagPCIsAddr
+	}
+	if err := tw.w.WriteByte(flags); err != nil {
+		return err
+	}
+	delta := int64(uint64(r.Addr)) - int64(tw.prevAddr[r.Kind])
+	tw.prevAddr[r.Kind] = uint64(r.Addr)
+	n = binary.PutUvarint(tw.buf[:], zigzag(delta))
+	if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+		return err
+	}
+	if flags&flagPCIsAddr == 0 {
+		n = binary.PutUvarint(tw.buf[:], uint64(r.PC))
+		if _, err := tw.w.Write(tw.buf[:n]); err != nil {
+			return err
+		}
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Flush writes any buffered data (and the header, if no records were
+// written).
+func (tw *Writer) Flush() error {
+	if err := tw.ensureHeader(); err != nil {
+		return err
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes records from an io.Reader. It implements Source; decoding
+// errors surface via Err after Next returns false.
+type Reader struct {
+	r        *bufio.Reader
+	prevAddr [numKinds]uint64
+	err      error
+	headerOK bool
+}
+
+// NewReader creates a trace reader on r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Err returns the first error encountered while decoding (nil at clean
+// EOF).
+func (tr *Reader) Err() error { return tr.err }
+
+func (tr *Reader) fail(err error) (Record, bool) {
+	if tr.err == nil && err != io.EOF {
+		tr.err = err
+	}
+	return Record{}, false
+}
+
+// Next implements Source.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil {
+		return Record{}, false
+	}
+	if !tr.headerOK {
+		var hdr [8]byte
+		if _, err := io.ReadFull(tr.r, hdr[:]); err != nil {
+			return tr.fail(err)
+		}
+		if hdr != magic {
+			return tr.fail(ErrBadMagic)
+		}
+		tr.headerOK = true
+	}
+	gap, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return tr.fail(err)
+	}
+	if gap > maxSaneGap {
+		return tr.fail(fmt.Errorf("trace: implausible gap %d", gap))
+	}
+	flags, err := tr.r.ReadByte()
+	if err != nil {
+		return tr.fail(fmt.Errorf("trace: truncated record: %w", err))
+	}
+	kind := Kind(flags & kindMask)
+	if kind >= numKinds {
+		return tr.fail(fmt.Errorf("trace: bad kind %d", kind))
+	}
+	du, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return tr.fail(fmt.Errorf("trace: truncated record: %w", err))
+	}
+	addr := uint64(int64(tr.prevAddr[kind]) + unzigzag(du))
+	if addr > maxSaneVarAddr {
+		return tr.fail(fmt.Errorf("trace: address %#x outside physical space", addr))
+	}
+	tr.prevAddr[kind] = addr
+	rec := Record{
+		Gap:           uint32(gap),
+		Kind:          kind,
+		Addr:          amo.Addr(addr),
+		DependsOnMiss: flags&flagDepends != 0,
+		Serializing:   flags&flagSerialize != 0,
+		BreaksWindow:  flags&flagBreaks != 0,
+	}
+	if flags&flagPCIsAddr != 0 {
+		rec.PC = amo.PC(addr)
+	} else {
+		pc, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return tr.fail(fmt.Errorf("trace: truncated record: %w", err))
+		}
+		rec.PC = amo.PC(pc)
+	}
+	return rec, true
+}

@@ -1,0 +1,283 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ebcp/internal/amo"
+)
+
+func TestSliceReplay(t *testing.T) {
+	recs := []Record{
+		{Gap: 10, Kind: Load, Addr: 0x1000, PC: 0x40},
+		{Gap: 0, Kind: IFetch, Addr: 0x2000, PC: 0x2000},
+		{Gap: 3, Kind: Store, Addr: 0x3000, PC: 0x44, Serializing: true},
+	}
+	s := NewSlice(recs)
+	for i := 0; i < 2; i++ {
+		var got []Record
+		for {
+			r, ok := s.Next()
+			if !ok {
+				break
+			}
+			got = append(got, r)
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("replay %d: got %d records, want %d", i, len(got), len(recs))
+		}
+		for j := range recs {
+			if got[j] != recs[j] {
+				t.Errorf("replay %d: record %d = %+v, want %+v", i, j, got[j], recs[j])
+			}
+		}
+		s.Reset()
+	}
+}
+
+func TestLimit(t *testing.T) {
+	recs := make([]Record, 100)
+	for i := range recs {
+		recs[i] = Record{Gap: 9, Kind: Load, Addr: amo.Addr(i * 64)}
+	}
+	// Each record is 10 instructions; limit at 55 should deliver 6 records
+	// (60 insts >= 55 only after the 6th is consumed: limit checks before
+	// delivery, so records are delivered while insts < 55 -> 6 records).
+	l := NewLimit(NewSlice(recs), 55)
+	n := 0
+	for {
+		_, ok := l.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 6 {
+		t.Errorf("delivered %d records, want 6", n)
+	}
+	if l.Instructions() != 60 {
+		t.Errorf("Instructions() = %d, want 60", l.Instructions())
+	}
+}
+
+func TestLimitExhaustedSource(t *testing.T) {
+	l := NewLimit(NewSlice([]Record{{Gap: 1, Kind: Load}}), 1000)
+	if _, ok := l.Next(); !ok {
+		t.Fatal("first Next should succeed")
+	}
+	if _, ok := l.Next(); ok {
+		t.Fatal("second Next should report exhaustion")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	recs := []Record{
+		{Gap: 10, Kind: Load, Addr: 0x1000},
+		{Gap: 5, Kind: Load, Addr: 0x1010}, // same line as above
+		{Gap: 0, Kind: IFetch, Addr: 0x2000, DependsOnMiss: true},
+		{Gap: 2, Kind: Store, Addr: 0x3000, Serializing: true},
+	}
+	st := Measure(NewSlice(recs))
+	if st.Records != 4 || st.Instructions != 21 {
+		t.Errorf("Records=%d Instructions=%d, want 4, 21", st.Records, st.Instructions)
+	}
+	if st.Loads != 2 || st.IFetches != 1 || st.Stores != 1 {
+		t.Errorf("kind counts = %d/%d/%d", st.Loads, st.IFetches, st.Stores)
+	}
+	if st.Dependent != 1 || st.Serializing != 1 {
+		t.Errorf("flags = dep %d ser %d", st.Dependent, st.Serializing)
+	}
+	if st.DistinctLine != 3 {
+		t.Errorf("DistinctLine = %d, want 3 (0x1000 and 0x1010 share a line)", st.DistinctLine)
+	}
+	if st.FootprintBytes() != 3*64 {
+		t.Errorf("FootprintBytes = %d", st.FootprintBytes())
+	}
+}
+
+func randomRecords(n int, seed int64) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	for i := range recs {
+		k := Kind(rng.Intn(3))
+		a := amo.Addr(rng.Uint64()) & amo.AddrMask
+		pc := amo.PC(rng.Uint64()) & amo.PC(amo.AddrMask)
+		if k == IFetch || rng.Intn(3) == 0 {
+			pc = amo.PC(a)
+		}
+		recs[i] = Record{
+			Gap:           uint32(rng.Intn(1000)),
+			Kind:          k,
+			Addr:          a,
+			PC:            pc,
+			DependsOnMiss: rng.Intn(4) == 0,
+			Serializing:   rng.Intn(10) == 0,
+			BreaksWindow:  rng.Intn(3) == 0,
+		}
+	}
+	return recs
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	recs := randomRecords(5000, 1)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+
+	r := NewReader(&buf)
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("record %d: unexpected end of trace (err=%v)", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("trace should be exhausted")
+	}
+	if r.Err() != nil {
+		t.Errorf("clean EOF should leave Err nil, got %v", r.Err())
+	}
+}
+
+func TestEncodeDecodeSingleRecordProperty(t *testing.T) {
+	f := func(gap uint32, kindRaw uint8, addrRaw, pcRaw uint64, dep, ser, pcSame bool) bool {
+		rec := Record{
+			Gap:           gap % maxSaneGap,
+			Kind:          Kind(kindRaw % 3),
+			Addr:          amo.Addr(addrRaw) & amo.AddrMask,
+			DependsOnMiss: dep,
+			Serializing:   ser,
+		}
+		if pcSame {
+			rec.PC = amo.PC(rec.Addr)
+		} else {
+			rec.PC = amo.PC(pcRaw) & amo.PC(amo.AddrMask)
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(rec); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r := NewReader(&buf)
+		got, ok := r.Next()
+		return ok && got == rec
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("NOTATRACEFILE")))
+	if _, ok := r.Next(); ok {
+		t.Fatal("Next should fail on bad magic")
+	}
+	if r.Err() != ErrBadMagic {
+		t.Errorf("Err = %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	recs := randomRecords(100, 2)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the stream mid-record.
+	data := buf.Bytes()[:buf.Len()-3]
+	r := NewReader(bytes.NewReader(data))
+	n := 0
+	for {
+		_, ok := r.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n >= len(recs) {
+		t.Fatalf("decoded %d records from truncated stream of %d", n, len(recs))
+	}
+	if r.Err() == nil {
+		t.Error("truncation mid-record should set Err")
+	}
+}
+
+func TestWriterEmptyFlushWritesHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, ok := r.Next(); ok {
+		t.Error("empty trace should yield no records")
+	}
+	if r.Err() != nil {
+		t.Errorf("empty trace should decode cleanly, got %v", r.Err())
+	}
+}
+
+func TestZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderNeverPanicsOnGarbage(t *testing.T) {
+	// Decoding arbitrary bytes after a valid header must fail cleanly
+	// (error or clean EOF), never panic, and never loop forever.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(200)
+		data := make([]byte, 8+n)
+		copy(data, magic[:])
+		rng.Read(data[8:])
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 10000; i++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func TestReaderAfterErrorStaysFailed(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("BADMAGICxxxx")))
+	r.Next()
+	err := r.Err()
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Further calls return false and keep the first error.
+	if _, ok := r.Next(); ok {
+		t.Error("reader revived after error")
+	}
+	if r.Err() != err {
+		t.Error("first error not sticky")
+	}
+}

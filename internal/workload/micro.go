@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"math/rand"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/trace"
+)
+
+// Microbenchmark generators with exactly known structure, used by unit
+// and integration tests to verify individual prefetcher behaviours.
+
+// PointerChase builds a trace that repeatedly walks a fixed ring of
+// dependent loads (each address depends on the previous load), `laps`
+// times, with `gap` on-chip instructions between loads. Every load is its
+// own epoch once the ring exceeds the caches; the sequence recurs
+// perfectly, so correlation prefetchers should learn it completely while
+// stride prefetchers see noise.
+func PointerChase(seed int64, ringLines, laps, gap int) *trace.Slice {
+	rng := rand.New(rand.NewSource(seed))
+	ring := make([]amo.Line, ringLines)
+	seen := make(map[amo.Line]bool, ringLines)
+	for i := range ring {
+		for {
+			l := amo.LineOf(dataBase) + amo.Line(rng.Int63n(1<<28))
+			if !seen[l] {
+				seen[l] = true
+				ring[i] = l
+				break
+			}
+		}
+	}
+	recs := make([]trace.Record, 0, ringLines*laps)
+	for lap := 0; lap < laps; lap++ {
+		for i, l := range ring {
+			recs = append(recs, trace.Record{
+				Gap:           uint32(gap),
+				Kind:          trace.Load,
+				Addr:          l.Addr(),
+				PC:            pcBase,
+				DependsOnMiss: !(lap == 0 && i == 0),
+			})
+		}
+	}
+	return trace.NewSlice(recs)
+}
+
+// Strided builds a trace of independent loads walking a fixed line
+// stride, the ideal stream-prefetcher workload.
+func Strided(startLine amo.Line, stride int64, count, gap int) *trace.Slice {
+	recs := make([]trace.Record, count)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Gap:  uint32(gap),
+			Kind: trace.Load,
+			Addr: startLine.Add(stride * int64(i)).Addr(),
+			PC:   pcBase,
+		}
+	}
+	return trace.NewSlice(recs)
+}
+
+// SpatialRegions builds a trace where each visit to a fresh 2KB region
+// touches the same offset pattern (trigger offset first), repeated over
+// `regions` distinct regions for `laps` laps — the SMS-ideal workload.
+func SpatialRegions(seed int64, regions, laps int, pattern []int, gap int) *trace.Slice {
+	rng := rand.New(rand.NewSource(seed))
+	bases := make([]amo.Line, regions)
+	for i := range bases {
+		l := amo.LineOf(dataBase) + amo.Line(rng.Int63n(1<<28))
+		bases[i] = l - amo.Line(uint64(l)%linesPerRegion)
+	}
+	var recs []trace.Record
+	for lap := 0; lap < laps; lap++ {
+		for _, base := range bases {
+			for j, off := range pattern {
+				recs = append(recs, trace.Record{
+					Gap:           uint32(gap),
+					Kind:          trace.Load,
+					Addr:          (base + amo.Line(off%linesPerRegion)).Addr(),
+					PC:            pcBase,
+					DependsOnMiss: j == 0, // region trigger is pointer-derived
+				})
+			}
+		}
+	}
+	return trace.NewSlice(recs)
+}
+
+// RandomLoads builds a trace of uniformly random independent loads over a
+// large space: unpredictable for every prefetcher.
+func RandomLoads(seed int64, count, gap int) *trace.Slice {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]trace.Record, count)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Gap:  uint32(gap),
+			Kind: trace.Load,
+			Addr: (amo.LineOf(dataBase) + amo.Line(rng.Int63n(1<<34))).Addr(),
+			PC:   pcBase,
+		}
+	}
+	return trace.NewSlice(recs)
+}
+
+// EpochChain builds the paper's running example structure: recurring
+// groups of misses where each group's head depends on the previous group
+// (one group = one epoch), cycling through `groups` distinct groups of
+// `groupSize` lines. This is the EBCP-ideal workload: the first miss of
+// epoch i perfectly predicts the misses of epochs i+1, i+2, ...
+func EpochChain(seed int64, groups, groupSize, laps, gap int) *trace.Slice {
+	rng := rand.New(rand.NewSource(seed))
+	lines := make([][]amo.Line, groups)
+	for i := range lines {
+		gl := make([]amo.Line, groupSize)
+		for j := range gl {
+			gl[j] = amo.LineOf(dataBase) + amo.Line(rng.Int63n(1<<30))
+		}
+		lines[i] = gl
+	}
+	var recs []trace.Record
+	for lap := 0; lap < laps; lap++ {
+		for gi, gl := range lines {
+			for j, l := range gl {
+				recs = append(recs, trace.Record{
+					Gap:           uint32(gap),
+					Kind:          trace.Load,
+					Addr:          l.Addr(),
+					PC:            pcBase,
+					DependsOnMiss: j == 0 && !(lap == 0 && gi == 0),
+				})
+			}
+		}
+	}
+	return trace.NewSlice(recs)
+}

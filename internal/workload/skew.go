@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// skewPicker samples indices 0..n-1 with power-law weights
+// w_i = 1/(i+1)^theta (theta 0 = uniform). It models the skewed
+// transaction mixes of commercial workloads while allowing theta < 1,
+// which math/rand's Zipf sampler does not.
+type skewPicker struct {
+	cum []float64
+}
+
+func newSkewPicker(n int, theta float64) *skewPicker {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -theta)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &skewPicker{cum: cum}
+}
+
+func (s *skewPicker) pick(rng *rand.Rand) int {
+	r := rng.Float64()
+	lo, hi := 0, len(s.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cum[mid] < r {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

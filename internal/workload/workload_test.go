@@ -1,0 +1,319 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/trace"
+)
+
+func TestAllParamsValidate(t *testing.T) {
+	for _, p := range All() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	muts := []func(*Params){
+		func(p *Params) { p.Name = "" },
+		func(p *Params) { p.OnChipCPI = 0 },
+		func(p *Params) { p.TxnTypes = 0 },
+		func(p *Params) { p.Chains = 0 },
+		func(p *Params) { p.ChainSteps = [2]int{5, 2} },
+		func(p *Params) { p.GroupSize = [2]int{0, 2} },
+		func(p *Params) { p.ChainsPerTxn = [2]int{3, 1} },
+		func(p *Params) { p.InstsPerStep = [2]int{0, 10} },
+		func(p *Params) { p.BlocksPerStep = [2]int{2, 1} },
+		func(p *Params) { p.PFollow = 1.5 },
+		func(p *Params) { p.Branch = 0 },
+		func(p *Params) { p.Variants = 0 },
+		func(p *Params) { p.CommonFrac = -0.1 },
+		func(p *Params) { p.NoiseFrac = 2 },
+		func(p *Params) { p.ColdExtra = -1 },
+		func(p *Params) { p.BranchBreak = 1.5 },
+		func(p *Params) { p.WalkFrac = 0.9; p.StrideFrac = 0.2 },
+		func(p *Params) { p.DataLines = 0 },
+		func(p *Params) { p.CodeLinesPerType = 0 },
+		func(p *Params) { p.Layouts = 0 },
+		func(p *Params) { p.AlignFrac = -0.2 },
+		func(p *Params) { p.CodeJump = 1.01 },
+	}
+	for i, mut := range muts {
+		p := Database()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range All() {
+		got, err := ByName(want.Name)
+		if err != nil || got.Name != want.Name {
+			t.Errorf("ByName(%q) = %v, %v", want.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, g2 := New(SPECjbb2005()), New(SPECjbb2005())
+	for i := 0; i < 50000; i++ {
+		r1, _ := g1.Next()
+		r2, _ := g2.Next()
+		if r1 != r2 {
+			t.Fatalf("record %d differs: %+v vs %+v", i, r1, r2)
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	p := Database()
+	p2 := p
+	p2.Seed++
+	g1, g2 := New(p), New(p2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		r1, _ := g1.Next()
+		r2, _ := g2.Next()
+		if r1.Addr == r2.Addr {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds produced %d/1000 identical addresses", same)
+	}
+}
+
+// drain pulls n records.
+func drain(g *Generator, n int) []trace.Record {
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		recs[i], _ = g.Next()
+	}
+	return recs
+}
+
+func TestStructuralProperties(t *testing.T) {
+	for _, p := range All() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			recs := drain(New(p), 300000)
+			st := trace.Measure(trace.NewSlice(recs))
+			if st.Loads == 0 || st.IFetches == 0 || st.Stores == 0 {
+				t.Fatalf("missing record kinds: %+v", st)
+			}
+			// Dependent flags exist (pointer chasing) but not on stores.
+			if st.Dependent == 0 {
+				t.Error("no dependent accesses")
+			}
+			for _, r := range recs {
+				if r.Kind == trace.Store && r.DependsOnMiss {
+					t.Fatal("store marked dependent")
+				}
+				if r.Kind == trace.IFetch && amo.PC(r.Addr) != r.PC {
+					t.Fatal("ifetch PC must equal its address")
+				}
+			}
+			// Data footprint far exceeds the 2MB L2.
+			if st.FootprintBytes() < 4<<20 {
+				t.Errorf("footprint %.1fMB too small to stress a 2MB L2",
+					float64(st.FootprintBytes())/(1<<20))
+			}
+			// Window breaks present (the dominant termination condition).
+			if st.WindowBreaks == 0 {
+				t.Error("no window-break markers")
+			}
+		})
+	}
+}
+
+func TestRecurrence(t *testing.T) {
+	// The same data lines must recur across a long window (the temporal
+	// correlation the prefetchers learn): count lines seen 2+ times.
+	recs := drain(New(SPECjbb2005()), 2_000_000)
+	counts := make(map[amo.Line]int)
+	for _, r := range recs {
+		if r.Kind == trace.Load {
+			counts[amo.LineOf(r.Addr)]++
+		}
+	}
+	recurring := 0
+	for _, c := range counts {
+		if c >= 2 {
+			recurring++
+		}
+	}
+	if frac := float64(recurring) / float64(len(counts)); frac < 0.2 {
+		t.Errorf("only %.2f of lines recur; chains are not recurring", frac)
+	}
+}
+
+func TestInstructionRateBallpark(t *testing.T) {
+	// Trace-level miss-event density should be in the right ballpark for
+	// calibration (records carry only footprint accesses).
+	for _, p := range All() {
+		g := New(p)
+		st := trace.Measure(trace.NewLimit(g, 5_000_000))
+		perK := 1000 * float64(st.Records) / float64(st.Instructions)
+		if perK < 2 || perK > 40 {
+			t.Errorf("%s: %.1f records per 1000 insts out of range", p.Name, perK)
+		}
+	}
+}
+
+func TestSkewPicker(t *testing.T) {
+	sp := newSkewPicker(16, 0.8)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 16)
+	for i := 0; i < 100000; i++ {
+		idx := sp.pick(rng)
+		if idx < 0 || idx >= 16 {
+			t.Fatalf("pick out of range: %d", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[15] {
+		t.Errorf("skew not monotone: first %d last %d", counts[0], counts[15])
+	}
+	// theta 0: uniform-ish.
+	sp = newSkewPicker(8, 0)
+	counts = make([]int, 8)
+	for i := 0; i < 80000; i++ {
+		counts[sp.pick(rng)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("uniform pick skewed: counts[%d] = %d", i, c)
+		}
+	}
+}
+
+func TestMicroPointerChase(t *testing.T) {
+	tr := PointerChase(1, 100, 3, 50)
+	recs := tr.Records()
+	if len(recs) != 300 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	if recs[0].DependsOnMiss {
+		t.Error("first load must not be dependent")
+	}
+	for i := 1; i < len(recs); i++ {
+		if !recs[i].DependsOnMiss {
+			t.Errorf("record %d should be dependent", i)
+		}
+	}
+	// Ring recurs identically across laps.
+	for i := 0; i < 100; i++ {
+		if recs[i].Addr != recs[i+100].Addr {
+			t.Error("laps must replay the same ring")
+			break
+		}
+	}
+}
+
+func TestMicroStrided(t *testing.T) {
+	tr := Strided(amo.Line(1000), 3, 10, 20)
+	recs := tr.Records()
+	for i := 1; i < len(recs); i++ {
+		d := int64(amo.LineOf(recs[i].Addr)) - int64(amo.LineOf(recs[i-1].Addr))
+		if d != 3 {
+			t.Fatalf("stride %d at %d", d, i)
+		}
+	}
+}
+
+func TestMicroSpatialRegions(t *testing.T) {
+	pattern := []int{0, 4, 9}
+	tr := SpatialRegions(2, 5, 2, pattern, 30)
+	recs := tr.Records()
+	if len(recs) != 5*2*3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	// All three accesses of a region visit share its 2KB region.
+	for i := 0; i < len(recs); i += 3 {
+		r0 := amo.RegionOf(recs[i].Addr, 2048)
+		for j := 1; j < 3; j++ {
+			if amo.RegionOf(recs[i+j].Addr, 2048) != r0 {
+				t.Fatal("region visit crosses regions")
+			}
+		}
+	}
+}
+
+func TestMicroEpochChain(t *testing.T) {
+	tr := EpochChain(3, 10, 3, 2, 40)
+	recs := tr.Records()
+	if len(recs) != 10*3*2 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	// Group heads after the first are dependent; members are not.
+	for i, r := range recs {
+		isHead := i%3 == 0
+		if isHead && i > 0 && !r.DependsOnMiss {
+			t.Fatalf("head %d not dependent", i)
+		}
+		if !isHead && r.DependsOnMiss {
+			t.Fatalf("member %d dependent", i)
+		}
+	}
+}
+
+func TestAlignedHeads(t *testing.T) {
+	p := SPECjbb2005() // AlignFrac 0.5
+	recs := drain(New(p), 500000)
+	aligned, heads := 0, 0
+	for _, r := range recs {
+		if r.Kind != trace.Load || !r.DependsOnMiss {
+			continue
+		}
+		heads++
+		if uint64(amo.LineOf(r.Addr))%128 == 0 {
+			aligned++
+		}
+	}
+	if heads == 0 {
+		t.Fatal("no dependent heads")
+	}
+	frac := float64(aligned) / float64(heads)
+	if frac < 0.1 {
+		t.Errorf("aligned head fraction %.3f too low for AlignFrac %.2f", frac, p.AlignFrac)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Database()
+	s := Scaled(p, 0.25)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Chains >= p.Chains || s.TxnTypes >= p.TxnTypes {
+		t.Errorf("scaling did not shrink: %d/%d chains, %d/%d types",
+			s.Chains, p.Chains, s.TxnTypes, p.TxnTypes)
+	}
+	if s.Name == p.Name {
+		t.Error("scaled workload should be renamed")
+	}
+	// Floors hold at extreme factors.
+	tiny := Scaled(p, 0.0001)
+	if tiny.Chains < 200 || tiny.TxnTypes < 8 {
+		t.Errorf("floors violated: %d chains, %d types", tiny.Chains, tiny.TxnTypes)
+	}
+	// The scaled generator still produces a usable trace.
+	st := trace.Measure(trace.NewLimit(New(s), 200000))
+	if st.Loads == 0 || st.IFetches == 0 {
+		t.Error("scaled workload produces no accesses")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("scale factor > 1 should panic")
+		}
+	}()
+	Scaled(p, 1.5)
+}
