@@ -1,0 +1,33 @@
+# Gates for this repository. `make tier1` is the seed contract; `make
+# race` is the concurrency gate guarding the parallel experiment
+# scheduler (internal/exp/sched.go) — run it before touching anything
+# under internal/exp.
+
+.PHONY: tier1 vet race race-short fuzz bench-parallel
+
+# Build + full test suite (the tier-1 contract from ROADMAP.md).
+tier1:
+	go build ./... && go test ./...
+
+vet:
+	go vet ./...
+
+# Full suite under the race detector (plus vet). Slow — roughly ten
+# minutes on one core; the determinism, single-flight and cancellation
+# tests in internal/exp/parallel_test.go are the interesting part.
+race: vet
+	go test -race ./...
+
+# The quick pre-push variant: skips the three slowest experiment shape
+# tests (Fig8, CMP, ablations) but keeps every concurrency test.
+race-short: vet
+	go test -race -short ./...
+
+# Fuzz the condensed-trace codec for a short while (seed corpus lives in
+# internal/trace/testdata/fuzz/).
+fuzz:
+	go test -fuzz FuzzEncodeDecode -fuzztime 60s ./internal/trace/
+
+# Serial vs parallel session wall-clock comparison (speedup needs >1 CPU).
+bench-parallel:
+	go test -bench 'BenchmarkSession(Serial|Parallel)' -benchtime 1x -count 1

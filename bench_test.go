@@ -19,6 +19,7 @@ package ebcp
 
 import (
 	"os"
+	"runtime"
 	"testing"
 
 	"ebcp/internal/exp"
@@ -110,6 +111,38 @@ func BenchmarkFig9(b *testing.B) {
 		metric(rep, b, "Solihin 6,1", "Database", "sol61-db-%")
 	})
 }
+
+// benchmarkSession times the table1 grid on a fresh session (no memo
+// carry-over between iterations) at 20%-length windows with the given
+// worker count.
+func benchmarkSession(b *testing.B, workers int) {
+	e, err := exp.ByID("table1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(workers), "workers")
+	for i := 0; i < b.N; i++ {
+		s := exp.NewSession(exp.Options{Warm: 30e6, Measure: 20e6, Workers: workers})
+		rep := e.Run(s)
+		if i == 0 {
+			if v, ok := rep.Value("CPI overall", "Database"); ok {
+				b.ReportMetric(v, "db-CPI")
+			}
+		}
+	}
+}
+
+// BenchmarkSessionSerial and BenchmarkSessionParallel compare wall-clock
+// time for the same experiment grid with one worker versus one worker
+// per CPU core. On a ≥4-core machine the parallel session completes the
+// four-benchmark table1 grid ≥2× faster; the reports are byte-identical
+// (internal/exp/parallel_test.go locks that invariant).
+//
+//	go test -bench 'BenchmarkSession(Serial|Parallel)' -benchtime 1x
+func BenchmarkSessionSerial(b *testing.B) { benchmarkSession(b, 1) }
+
+// BenchmarkSessionParallel shards the same grid over all CPU cores.
+func BenchmarkSessionParallel(b *testing.B) { benchmarkSession(b, runtime.NumCPU()) }
 
 // BenchmarkSimThroughput measures raw simulator speed (simulated
 // instructions per wall-clock second) on the Database workload with the

@@ -5,10 +5,16 @@
 //	ebcpexp -exp table1
 //	ebcpexp -exp fig4,fig5
 //	ebcpexp -exp all -scale 0.2      # 20%-length windows, much faster
+//	ebcpexp -exp all -workers 8      # shard simulations over 8 goroutines
+//	ebcpexp -exp all -timeout 2m     # render whatever completed in time
 //	ebcpexp -list
+//
+// Simulations shard across -workers goroutines (default: all CPU cores);
+// reports are bit-identical for any worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +32,8 @@ func main() {
 		verbose = flag.Bool("v", false, "print per-run progress")
 		format  = flag.String("format", "text", "output format: text | csv | markdown")
 		outFile = flag.String("o", "", "write reports to a file instead of stdout")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
+		timeout = flag.Duration("timeout", 0, "stop scheduling new simulations after this long and render partial reports (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -40,12 +48,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := exp.Options{
 		Warm:    uint64(150e6 * *scale),
 		Measure: uint64(100e6 * *scale),
+		Workers: *workers,
 	}
 	if *verbose {
-		opts.Progress = os.Stderr
+		opts.Progress = exp.ProgressWriter(os.Stderr)
 	}
 
 	var todo []exp.Experiment
@@ -73,7 +89,7 @@ func main() {
 		out = f
 	}
 
-	session := exp.NewSession(opts)
+	session := exp.NewSessionContext(ctx, opts)
 	for _, e := range todo {
 		start := time.Now()
 		rep := e.Run(session)
@@ -85,5 +101,10 @@ func main() {
 			fmt.Fprintf(out, "  [%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
 		}
 	}
-	fmt.Fprintf(os.Stderr, "total simulations executed: %d\n", session.Runs())
+	fmt.Fprintf(os.Stderr, "total simulations executed: %d (memo hits: %d)\n",
+		session.Runs(), session.CacheHits())
+	if err := session.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "ebcpexp: %v — reports above are partial (unsimulated cells are zero)\n", err)
+		os.Exit(1)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ebcp"
 )
@@ -30,8 +31,16 @@ func main() {
 		readGBps     = flag.Float64("read-gbps", 9.6, "memory read bandwidth")
 		writeGBps    = flag.Float64("write-gbps", 4.8, "memory write bandwidth")
 		noBase       = flag.Bool("nobase", false, "skip the baseline run")
+		timeout      = flag.Duration("timeout", 0, "hard wall-clock limit; exceeding it aborts the process (0 = no limit)")
 	)
 	flag.Parse()
+
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "ebcpsim: exceeded -timeout %v, aborting\n", *timeout)
+			os.Exit(1)
+		})
+	}
 
 	bench, err := ebcp.BenchmarkByName(*workloadName)
 	if err != nil {
@@ -51,14 +60,22 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The baseline is independent of the measured run; overlap the two
+	// simulations. Output stays in the same (deterministic) order.
+	wantBase := !*noBase && pf.Name() != "none"
+	baseCh := make(chan ebcp.Result, 1)
+	if wantBase {
+		go func() { baseCh <- ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg) }()
+	}
+
 	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
 	printResult(bench.Name, res)
 	if e, ok := pf.(*ebcp.EBCP); ok {
 		printEBCP(e)
 	}
 
-	if !*noBase && pf.Name() != "none" {
-		base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	if wantBase {
+		base := <-baseCh
 		fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.CPI(), base.EPKI())
 		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base))
 		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base))

@@ -32,6 +32,8 @@
 package ebcp
 
 import (
+	"context"
+
 	"ebcp/internal/cache"
 	"ebcp/internal/core"
 	"ebcp/internal/cpu"
@@ -183,7 +185,14 @@ type (
 	// ExperimentReport is a rendered experiment result with the paper's
 	// reference values inline.
 	ExperimentReport = exp.Report
+	// ExperimentRunUpdate is the progress event delivered once per
+	// completed simulation.
+	ExperimentRunUpdate = exp.RunUpdate
 )
+
+// ExperimentProgressWriter adapts an io.Writer into an Options.Progress
+// callback printing one line per completed simulation.
+var ExperimentProgressWriter = exp.ProgressWriter
 
 // Experiments returns every experiment in paper order (table1, fig4..fig9,
 // cmp, ablations).
@@ -193,6 +202,15 @@ func Experiments() []Experiment { return exp.All() }
 func ExperimentByID(id string) (Experiment, error) { return exp.ByID(id) }
 
 // NewExperimentSession creates a memoizing session for experiment runs.
+// Simulations shard across Options.Workers goroutines; reports are
+// bit-identical for any worker count.
 func NewExperimentSession(opts ExperimentOptions) *ExperimentSession {
 	return exp.NewSession(opts)
+}
+
+// NewExperimentSessionContext creates a session whose simulations stop
+// when ctx is cancelled: pending cells are skipped and reports carry
+// zero values for cells that never ran (Session.Err reports why).
+func NewExperimentSessionContext(ctx context.Context, opts ExperimentOptions) *ExperimentSession {
+	return exp.NewSessionContext(ctx, opts)
 }

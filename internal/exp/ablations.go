@@ -5,6 +5,7 @@ import (
 
 	"ebcp/internal/core"
 	"ebcp/internal/prefetch"
+	"ebcp/internal/workload"
 )
 
 // Ablations isolates the design choices Section 3 argues for, by removing
@@ -34,6 +35,17 @@ func Ablations() Experiment {
 		{"virtual window 64", func(c *core.Config) { c.VirtualWindow = 64 }},
 		{"virtual window 512", func(c *core.Config) { c.VirtualWindow = 512 }},
 	}
+	ablReq := func(b workload.Params, v variant) runReq {
+		return runReq{
+			key:   fmt.Sprintf("abl/%s/%s", b.Name, v.label),
+			bench: b,
+			pf: func() prefetch.Prefetcher {
+				cfg := core.DefaultConfig()
+				v.mut(&cfg)
+				return core.New(cfg)
+			},
+		}
+	}
 	return Experiment{
 		ID:    "ablations",
 		Title: "EBCP design-choice ablations (extension; 'minus' is the paper's Figure 9 ablation)",
@@ -48,17 +60,19 @@ func Ablations() Experiment {
 					"'no PB-hit lookups' shows why the paper's '(or prefetch buffer hit)' clause is load-bearing: without it the lookup chain starves once epochs start disappearing",
 				},
 			}
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+				for _, v := range variants {
+					reqs = append(reqs, ablReq(b, v))
+				}
+			}
+			s.ensure(reqs)
 			for _, v := range variants {
-				v := v
 				row := Row{Label: v.label}
 				for _, b := range s.benchmarks() {
 					base := s.baseline(b)
-					key := fmt.Sprintf("abl/%s/%s", b.Name, v.label)
-					res := s.run(key, b, func() prefetch.Prefetcher {
-						cfg := core.DefaultConfig()
-						v.mut(&cfg)
-						return core.New(cfg)
-					}, nil)
+					res := s.exec(ablReq(b, v))
 					row.Values = append(row.Values, 100*res.Improvement(base))
 				}
 				rep.Rows = append(rep.Rows, row)

@@ -20,6 +20,25 @@ import (
 // core count.
 func CMP() Experiment {
 	coreCounts := []int{1, 2, 4}
+	cells := func(b workload.Params, n int) (base, ebcp, sol cmpReq) {
+		base = cmpReq{
+			key: fmt.Sprintf("cmpbase/%s/%d", b.Name, n), bench: b, cores: n,
+			pf: func(int) prefetch.Prefetcher { return prefetch.None{} },
+		}
+		ebcp = cmpReq{
+			key: fmt.Sprintf("cmpebcp/%s/%d", b.Name, n), bench: b, cores: n,
+			pf: func(cores int) prefetch.Prefetcher {
+				cfg := core.DefaultConfig()
+				cfg.Cores = cores
+				return core.New(cfg)
+			},
+		}
+		sol = cmpReq{
+			key: fmt.Sprintf("cmpsol/%s/%d", b.Name, n), bench: b, cores: n,
+			pf: func(int) prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) },
+		}
+		return
+	}
 	return Experiment{
 		ID:    "cmp",
 		Title: "CMP extension: per-thread EBCP vs memory-side Solihin as cores scale (Section 3.3.1 / Section 6)",
@@ -34,20 +53,22 @@ func CMP() Experiment {
 					"threads run independent instances of the workload (different seeds) sharing L2, interconnect and prefetcher",
 				},
 			}
+			var reqs []cmpReq
+			for _, b := range s.benchmarks() {
+				for _, n := range coreCounts {
+					base, ebcp, sol := cells(b, n)
+					reqs = append(reqs, base, ebcp, sol)
+				}
+			}
+			s.ensureCMP(reqs)
 			for _, b := range s.benchmarks() {
 				ebcpRow := Row{Label: b.Name + ": EBCP"}
 				solRow := Row{Label: b.Name + ": Solihin 6,1"}
 				for _, n := range coreCounts {
-					base := s.runCMP(fmt.Sprintf("cmpbase/%s/%d", b.Name, n), b, n,
-						func(int) prefetch.Prefetcher { return prefetch.None{} })
-					eb := s.runCMP(fmt.Sprintf("cmpebcp/%s/%d", b.Name, n), b, n,
-						func(cores int) prefetch.Prefetcher {
-							cfg := core.DefaultConfig()
-							cfg.Cores = cores
-							return core.New(cfg)
-						})
-					so := s.runCMP(fmt.Sprintf("cmpsol/%s/%d", b.Name, n), b, n,
-						func(int) prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) })
+					baseReq, ebcpReq, solReq := cells(b, n)
+					base := s.execCMP(baseReq)
+					eb := s.execCMP(ebcpReq)
+					so := s.execCMP(solReq)
 					ebcpRow.Values = append(ebcpRow.Values, 100*(eb.Speedup(base)-1))
 					solRow.Values = append(solRow.Values, 100*(so.Speedup(base)-1))
 				}
@@ -58,36 +79,44 @@ func CMP() Experiment {
 	}
 }
 
-// cmpMemo caches CMP runs (they do not fit the sim.Result memo).
-type cmpMemo map[string]sim.CMPResult
+// cmpReq names one CMP simulation cell (they do not fit the single-core
+// memo: the result type differs and the prefetcher builder needs the
+// core count).
+type cmpReq struct {
+	key   string
+	bench workload.Params
+	cores int
+	pf    func(cores int) prefetch.Prefetcher
+}
 
-func (s *Session) runCMP(key string, bench workload.Params, cores int, pf func(int) prefetch.Prefetcher) sim.CMPResult {
-	if s.cmp == nil {
-		s.cmp = make(cmpMemo)
+// execCMP returns a CMP cell's result, simulating it at most once per
+// session (single-flight, like exec).
+func (s *Session) execCMP(r cmpReq) sim.CMPResult {
+	v, st := s.cmps.do(s.ctx, r.key, func() sim.CMPResult { return s.simulateCMP(r) })
+	switch st {
+	case runComputed:
+		s.noteRun(r.key, "IPC", v.AggregateIPC())
+	case runShared:
+		s.noteHit()
 	}
-	if r, ok := s.cmp[key]; ok {
-		s.cacheHits++
-		return r
-	}
+	return v
+}
+
+// simulateCMP executes one CMP cell.
+func (s *Session) simulateCMP(r cmpReq) sim.CMPResult {
 	cfg := sim.DefaultConfig()
-	cfg.Core.OnChipCPI = bench.OnChipCPI
+	cfg.Core.OnChipCPI = r.bench.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
 	// Per-thread windows at the single-core length would multiply runtime
 	// by the core count; scale them down so each CMP point costs about one
 	// single-core run.
-	cfg.WarmInsts /= uint64(cores)
-	cfg.MeasureInsts /= uint64(cores)
-	sources := make([]trace.Source, cores)
+	cfg.WarmInsts /= uint64(r.cores)
+	cfg.MeasureInsts /= uint64(r.cores)
+	sources := make([]trace.Source, r.cores)
 	for i := range sources {
-		b := bench
+		b := r.bench
 		b.Seed += int64(i) * 7919
 		sources[i] = workload.New(b)
 	}
-	res := sim.RunCMP(sources, pf(cores), cfg)
-	s.cmp[key] = res
-	s.runs++
-	if s.opts.Progress != nil {
-		fmt.Fprintf(s.opts.Progress, "  ran %-40s IPC %.3f\n", key, res.AggregateIPC())
-	}
-	return res
+	return sim.RunCMP(sources, r.pf(r.cores), cfg)
 }

@@ -3,13 +3,20 @@
 // configurations and prefetchers it needs, executes the simulations, and
 // renders the same rows/series the paper reports, side by side with the
 // paper's published values where the paper states them.
+//
+// Execution is two-phase. An experiment first *plans* its full run grid
+// and hands it to the session's worker pool (the simulate phase, sched.go),
+// then builds its report from the memoized results in a fixed order (the
+// collect phase). Reports are therefore bit-identical for any worker
+// count: parallelism changes wall-clock time only.
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"sort"
-	"strings"
+	"runtime"
+	"sync"
 
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
@@ -23,11 +30,38 @@ type Options struct {
 	// preserve shapes, at some loss of training for the correlation
 	// prefetchers.
 	Warm, Measure uint64
-	// Progress, when non-nil, receives one line per completed simulation.
-	Progress io.Writer
+	// Workers bounds how many simulations the simulate phase runs
+	// concurrently (0 = runtime.NumCPU()). Results are bit-identical for
+	// any worker count; only wall-clock time changes.
+	Workers int
+	// Progress, when non-nil, is invoked once per completed simulation.
+	// The session serializes invocations (they may originate on any
+	// worker goroutine), so the callback needs no locking of its own.
+	// Completion order — and therefore progress order — depends on
+	// scheduling; reports do not.
+	Progress func(RunUpdate)
 	// Benchmarks overrides the workload set (nil = the paper's four
 	// commercial benchmarks). Tests use workload.Scaled variants here.
 	Benchmarks []workload.Params
+}
+
+// RunUpdate describes one completed simulation.
+type RunUpdate struct {
+	// Key is the memo key: unique per (benchmark, prefetcher, config).
+	Key string
+	// Metric names Value: "CPI" for single-core runs, "IPC" for CMP runs.
+	Metric string
+	Value  float64
+	// Runs is how many simulations the session has executed so far.
+	Runs int
+}
+
+// ProgressWriter adapts an io.Writer into a Progress callback printing
+// one line per completed simulation.
+func ProgressWriter(w io.Writer) func(RunUpdate) {
+	return func(u RunUpdate) {
+		fmt.Fprintf(w, "  ran %-40s %s %.3f\n", u.Key, u.Metric, u.Value)
+	}
 }
 
 func (o Options) windows() (uint64, uint64) {
@@ -47,7 +81,10 @@ type Experiment struct {
 	ID string
 	// Title describes the artifact.
 	Title string
-	// Run executes the experiment.
+	// Run executes the experiment: it schedules the experiment's run grid
+	// on the session's worker pool, then collects the report. Run is safe
+	// to call from multiple goroutines sharing one session; cells common
+	// to concurrent experiments are simulated once.
 	Run func(s *Session) *Report
 }
 
@@ -77,151 +114,140 @@ func ByID(id string) (Experiment, error) {
 }
 
 // Session runs simulations with memoization, so experiments sharing runs
-// (e.g. the baselines, or Figures 4 and 5) execute them once.
+// (e.g. the baselines, or Figures 4 and 5) execute them once. Sessions
+// are safe for concurrent use: the memo is single-flight (two
+// experiments requesting the same cell share one simulation), and the
+// simulate phase shards independent cells across a worker pool.
 type Session struct {
-	opts      Options
-	memo      map[string]sim.Result
-	cmp       cmpMemo
+	opts Options
+	ctx  context.Context
+
+	sims sfGroup[sim.Result]
+	cmps sfGroup[sim.CMPResult]
+
+	statMu    sync.Mutex
 	runs      int
 	cacheHits int
+
+	progressMu sync.Mutex
 }
 
-// NewSession creates a session.
+// NewSession creates a session that runs to completion.
 func NewSession(opts Options) *Session {
-	return &Session{opts: opts, memo: make(map[string]sim.Result)}
+	return NewSessionContext(context.Background(), opts)
+}
+
+// NewSessionContext creates a session whose simulations stop when ctx is
+// cancelled: in-flight simulations finish, pending cells are skipped,
+// and reports carry zero values for cells that never ran. Err reports
+// the cancellation.
+func NewSessionContext(ctx context.Context, opts Options) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Session{opts: opts, ctx: ctx}
 }
 
 // Runs returns how many simulations actually executed.
-func (s *Session) Runs() int { return s.runs }
+func (s *Session) Runs() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.runs
+}
 
-// run executes (or recalls) one simulation. The key must uniquely
-// describe (benchmark, prefetcher, system config).
-func (s *Session) run(key string, bench workload.Params, pf func() prefetch.Prefetcher, mut func(*sim.Config)) sim.Result {
-	if r, ok := s.memo[key]; ok {
-		s.cacheHits++
-		return r
+// CacheHits returns how many cell requests were served from the memo (or
+// by joining another caller's in-flight simulation).
+func (s *Session) CacheHits() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.cacheHits
+}
+
+// Err returns the session context's cancellation error, if any. A
+// non-nil Err means reports collected from this session are partial.
+func (s *Session) Err() error { return s.ctx.Err() }
+
+// workers returns the effective simulate-phase pool size.
+func (s *Session) workers() int {
+	if s.opts.Workers > 0 {
+		return s.opts.Workers
 	}
-	cfg := sim.DefaultConfig()
-	cfg.Core.OnChipCPI = bench.OnChipCPI
-	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
-	if mut != nil {
-		mut(&cfg)
-	}
-	res := sim.Run(workload.New(bench), pf(), cfg)
-	s.memo[key] = res
+	return runtime.NumCPU()
+}
+
+// memoLen reports how many results the session has memoized (test hook).
+func (s *Session) memoLen() int { return s.sims.len() + s.cmps.len() }
+
+// noteRun records one executed simulation and emits progress.
+func (s *Session) noteRun(key, metric string, value float64) {
+	s.statMu.Lock()
 	s.runs++
+	n := s.runs
+	s.statMu.Unlock()
 	if s.opts.Progress != nil {
-		fmt.Fprintf(s.opts.Progress, "  ran %-40s CPI %.3f\n", key, res.CPI())
+		s.progressMu.Lock()
+		s.opts.Progress(RunUpdate{Key: key, Metric: metric, Value: value, Runs: n})
+		s.progressMu.Unlock()
 	}
-	return res
+}
+
+// noteHit records one memo/in-flight hit.
+func (s *Session) noteHit() {
+	s.statMu.Lock()
+	s.cacheHits++
+	s.statMu.Unlock()
+}
+
+// runReq names one single-core simulation cell: the memo key plus
+// everything needed to execute it. Experiments build the same runReq in
+// their simulate and collect phases, so each cell is defined exactly
+// once. The key must uniquely describe (benchmark, prefetcher, system
+// config).
+type runReq struct {
+	key   string
+	bench workload.Params
+	pf    func() prefetch.Prefetcher
+	mut   func(*sim.Config)
+}
+
+// exec returns a cell's result, simulating it at most once per session.
+// Under a cancelled context, cells that never ran return the zero
+// Result (and are not memoized, so a later un-cancelled session state
+// is not poisoned).
+func (s *Session) exec(r runReq) sim.Result {
+	v, st := s.sims.do(s.ctx, r.key, func() sim.Result { return s.simulate(r) })
+	switch st {
+	case runComputed:
+		s.noteRun(r.key, "CPI", v.CPI())
+	case runShared:
+		s.noteHit()
+	}
+	return v
+}
+
+// simulate executes one cell.
+func (s *Session) simulate(r runReq) sim.Result {
+	cfg := sim.DefaultConfig()
+	cfg.Core.OnChipCPI = r.bench.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
+	if r.mut != nil {
+		r.mut(&cfg)
+	}
+	return sim.Run(workload.New(r.bench), r.pf(), cfg)
+}
+
+// baselineReq is the no-prefetching cell for a benchmark.
+func baselineReq(bench workload.Params) runReq {
+	return runReq{
+		key:   "base/" + bench.Name,
+		bench: bench,
+		pf:    func() prefetch.Prefetcher { return prefetch.None{} },
+	}
 }
 
 // baseline returns the no-prefetching run for a benchmark.
 func (s *Session) baseline(bench workload.Params) sim.Result {
-	return s.run("base/"+bench.Name, bench, func() prefetch.Prefetcher { return prefetch.None{} }, nil)
-}
-
-// Row is one line of a report: a label and one value per column.
-type Row struct {
-	Label  string
-	Values []float64
-}
-
-// Report is a rendered experiment result.
-type Report struct {
-	ID    string
-	Title string
-	// Unit labels the values ("%", "CPI", ...).
-	Unit    string
-	Columns []string
-	Rows    []Row
-	// Reference carries the paper's values for rows with the same labels
-	// (NaN-free subset; missing rows mean the paper gives no number).
-	Reference []Row
-	Notes     []string
-}
-
-// refFor finds the paper's row for a label.
-func (r *Report) refFor(label string) *Row {
-	for i := range r.Reference {
-		if r.Reference[i].Label == label {
-			return &r.Reference[i]
-		}
-	}
-	return nil
-}
-
-// Render writes the report as an aligned text table, interleaving paper
-// reference rows where available.
-func (r *Report) Render(w io.Writer) {
-	fmt.Fprintf(w, "%s — %s", r.ID, r.Title)
-	if r.Unit != "" {
-		fmt.Fprintf(w, " (%s)", r.Unit)
-	}
-	fmt.Fprintln(w)
-
-	labelW := len("label")
-	for _, row := range r.Rows {
-		if len(row.Label)+8 > labelW {
-			labelW = len(row.Label) + 8
-		}
-	}
-	colW := 10
-	for _, c := range r.Columns {
-		if len(c)+2 > colW {
-			colW = len(c) + 2
-		}
-	}
-	fmt.Fprintf(w, "  %-*s", labelW, "")
-	for _, c := range r.Columns {
-		fmt.Fprintf(w, "%*s", colW, c)
-	}
-	fmt.Fprintln(w)
-	for _, row := range r.Rows {
-		fmt.Fprintf(w, "  %-*s", labelW, row.Label)
-		for _, v := range row.Values {
-			fmt.Fprintf(w, "%*.2f", colW, v)
-		}
-		fmt.Fprintln(w)
-		if ref := r.refFor(row.Label); ref != nil {
-			fmt.Fprintf(w, "  %-*s", labelW, "  (paper)")
-			for _, v := range ref.Values {
-				fmt.Fprintf(w, "%*.2f", colW, v)
-			}
-			fmt.Fprintln(w)
-		}
-	}
-	for _, n := range r.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
-	}
-}
-
-// String renders the report to a string.
-func (r *Report) String() string {
-	var b strings.Builder
-	r.Render(&b)
-	return b.String()
-}
-
-// Value looks up a measured value by row label and column name (for
-// tests). ok is false if either is absent.
-func (r *Report) Value(label, column string) (float64, bool) {
-	ci := -1
-	for i, c := range r.Columns {
-		if c == column {
-			ci = i
-			break
-		}
-	}
-	if ci < 0 {
-		return 0, false
-	}
-	for _, row := range r.Rows {
-		if row.Label == label && ci < len(row.Values) {
-			return row.Values[ci], true
-		}
-	}
-	return 0, false
+	return s.exec(baselineReq(bench))
 }
 
 // benchmarks returns the session's workload set.
@@ -239,14 +265,4 @@ func (s *Session) benchColumns() []string {
 		cols = append(cols, b.Name)
 	}
 	return cols
-}
-
-// sortedKeys is a test helper for deterministic memo iteration.
-func sortedKeys(m map[string]sim.Result) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

@@ -270,7 +270,10 @@ func TestSessionMemoization(t *testing.T) {
 	if s.Runs() != runs {
 		t.Error("baseline should be memoized")
 	}
-	if len(sortedKeys(s.memo)) != runs {
+	if s.CacheHits() == 0 {
+		t.Error("memoized replay should count as a cache hit")
+	}
+	if s.memoLen() != runs {
 		t.Error("memo bookkeeping inconsistent")
 	}
 }

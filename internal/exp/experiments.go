@@ -9,6 +9,12 @@ import (
 	"ebcp/internal/workload"
 )
 
+// Each experiment defines its run grid as runReq constructors, schedules
+// the whole grid on the session's worker pool (s.ensure — the simulate
+// phase), then builds its rows from the memoized results in paper order
+// (the collect phase). Defining each cell exactly once keeps the two
+// phases in lockstep.
+
 // Degrees swept by the design-space figures.
 var degreeSweep = []int{1, 2, 4, 8, 16, 32}
 
@@ -25,10 +31,27 @@ func idealizedEBCP(degree int) core.Config {
 
 func bigPB(cfg *sim.Config) { cfg.PBEntries = 1024 }
 
-// ebcpRun executes an idealized-EBCP run at the given degree.
-func (s *Session) ebcpRun(bench workload.Params, degree int) sim.Result {
-	key := fmt.Sprintf("ebcp-ideal/%s/d%d", bench.Name, degree)
-	return s.run(key, bench, func() prefetch.Prefetcher { return core.New(idealizedEBCP(degree)) }, bigPB)
+// ebcpReq is an idealized-EBCP cell at the given degree.
+func ebcpReq(bench workload.Params, degree int) runReq {
+	return runReq{
+		key:   fmt.Sprintf("ebcp-ideal/%s/d%d", bench.Name, degree),
+		bench: bench,
+		pf:    func() prefetch.Prefetcher { return core.New(idealizedEBCP(degree)) },
+		mut:   bigPB,
+	}
+}
+
+// degreeSweepPlan is the shared Fig4/Fig5 run grid: every benchmark's
+// baseline plus the idealized EBCP at every swept degree.
+func degreeSweepPlan(s *Session) []runReq {
+	var reqs []runReq
+	for _, b := range s.benchmarks() {
+		reqs = append(reqs, baselineReq(b))
+		for _, d := range degreeSweep {
+			reqs = append(reqs, ebcpReq(b, d))
+		}
+	}
+	return reqs
 }
 
 // Table1 regenerates the baseline statistics table.
@@ -48,6 +71,11 @@ func Table1() Experiment {
 					{Label: "L2 load miss rate", Values: []float64{6.23, 1.27, 4.30, 2.64}},
 				},
 			}
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+			}
+			s.ensure(reqs)
 			rows := make([]Row, 4)
 			rows[0].Label = "CPI overall"
 			rows[1].Label = "Epochs per 1000 insts"
@@ -90,11 +118,12 @@ func Fig4() Experiment {
 					"paper reports full curves only graphically; the stated degree-32 endpoints are 34/19/43/38%",
 				},
 			}
+			s.ensure(degreeSweepPlan(s))
 			for _, b := range s.benchmarks() {
 				base := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, d := range degreeSweep {
-					res := s.ebcpRun(b, d)
+					res := s.exec(ebcpReq(b, d))
 					row.Values = append(row.Values, 100*res.Improvement(base))
 				}
 				rep.Rows = append(rep.Rows, row)
@@ -128,6 +157,7 @@ func Fig5() Experiment {
 					"EPI reduction should track coverage; accuracy should fall as degree rises (Section 5.2.1)",
 				},
 			}
+			s.ensure(degreeSweepPlan(s))
 			for _, b := range s.benchmarks() {
 				base := s.baseline(b)
 				epi := Row{Label: b.Name + ": EPI reduction %"}
@@ -136,7 +166,7 @@ func Fig5() Experiment {
 				imiss := Row{Label: b.Name + ": inst MPKI"}
 				lmiss := Row{Label: b.Name + ": load MPKI"}
 				for _, d := range degreeSweep {
-					res := s.ebcpRun(b, d)
+					res := s.exec(ebcpReq(b, d))
 					epi.Values = append(epi.Values, 100*res.EPIReduction(base))
 					cov.Values = append(cov.Values, 100*res.Coverage())
 					acc.Values = append(acc.Values, 100*res.Accuracy())
@@ -147,6 +177,20 @@ func Fig5() Experiment {
 			}
 			return rep
 		},
+	}
+}
+
+// fig6Req is a table-size-sweep cell (degree 8, idealized otherwise).
+func fig6Req(bench workload.Params, entries int) runReq {
+	return runReq{
+		key:   fmt.Sprintf("fig6/%s/%d", bench.Name, entries),
+		bench: bench,
+		pf: func() prefetch.Prefetcher {
+			cfg := idealizedEBCP(8)
+			cfg.TableEntries = entries
+			return core.New(cfg)
+		},
+		mut: bigPB,
 	}
 }
 
@@ -166,23 +210,37 @@ func Fig6() Experiment {
 					"paper: one million entries (64MB of main memory) suffices to avoid significant erosion",
 				},
 			}
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+				for _, entries := range sizes {
+					reqs = append(reqs, fig6Req(b, entries))
+				}
+			}
+			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
 				base := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, entries := range sizes {
-					e := entries
-					key := fmt.Sprintf("fig6/%s/%d", b.Name, e)
-					res := s.run(key, b, func() prefetch.Prefetcher {
-						cfg := idealizedEBCP(8)
-						cfg.TableEntries = e
-						return core.New(cfg)
-					}, bigPB)
+					res := s.exec(fig6Req(b, entries))
 					row.Values = append(row.Values, 100*res.Improvement(base))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}
 			return rep
 		},
+	}
+}
+
+// fig7Req is a prefetch-buffer-sweep cell (tuned EBCP, n-entry buffer).
+func fig7Req(bench workload.Params, n int) runReq {
+	return runReq{
+		key:   fmt.Sprintf("fig7/%s/%d", bench.Name, n),
+		bench: bench,
+		pf: func() prefetch.Prefetcher {
+			return core.New(core.DefaultConfig())
+		},
+		mut: func(cfg *sim.Config) { cfg.PBEntries = n },
 	}
 }
 
@@ -209,15 +267,19 @@ func Fig7() Experiment {
 					"paper: a 64-entry buffer (512B) is adequate; this tuned point gives 23/13/31/26%",
 				},
 			}
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+				for _, pb := range sizes {
+					reqs = append(reqs, fig7Req(b, pb))
+				}
+			}
+			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
 				base := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, pb := range sizes {
-					n := pb
-					key := fmt.Sprintf("fig7/%s/%d", b.Name, n)
-					res := s.run(key, b, func() prefetch.Prefetcher {
-						return core.New(core.DefaultConfig())
-					}, func(cfg *sim.Config) { cfg.PBEntries = n })
+					res := s.exec(fig7Req(b, pb))
 					row.Values = append(row.Values, 100*res.Improvement(base))
 				}
 				rep.Rows = append(rep.Rows, row)
@@ -227,17 +289,36 @@ func Fig7() Experiment {
 	}
 }
 
+// fig8Bands are the memory-bandwidth points of the sensitivity study.
+var fig8Bands = []struct {
+	label       string
+	read, write float64
+}{
+	{"3.2GB/s", 3.2, 1.6},
+	{"6.4GB/s", 6.4, 3.2},
+	{"9.6GB/s", 9.6, 4.8},
+}
+
+var fig8Degrees = []int{2, 4, 8, 16, 32}
+
+// fig8Req is one bandwidth-sensitivity cell.
+func fig8Req(bench workload.Params, band int, degree int) runReq {
+	bd := fig8Bands[band]
+	return runReq{
+		key:   fmt.Sprintf("fig8/%s/%s/d%d", bench.Name, bd.label, degree),
+		bench: bench,
+		pf: func() prefetch.Prefetcher {
+			return core.New(idealizedEBCP(degree))
+		},
+		mut: func(cfg *sim.Config) {
+			cfg.PBEntries = 1024
+			cfg.Mem.ReadGBps, cfg.Mem.WriteGBps = bd.read, bd.write
+		},
+	}
+}
+
 // Fig8 regenerates the memory-bandwidth sensitivity study.
 func Fig8() Experiment {
-	bands := []struct {
-		label       string
-		read, write float64
-	}{
-		{"3.2GB/s", 3.2, 1.6},
-		{"6.4GB/s", 6.4, 3.2},
-		{"9.6GB/s", 9.6, 4.8},
-	}
-	degrees := []int{2, 4, 8, 16, 32}
 	return Experiment{
 		ID:    "fig8",
 		Title: "Sensitivity to available memory bandwidth (Figure 8)",
@@ -252,20 +333,22 @@ func Fig8() Experiment {
 					"paper: at 3.2GB/s performance declines as degree rises; at 9.6GB/s it keeps improving — the optimal degree moves right with bandwidth",
 				},
 			}
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+				for band := range fig8Bands {
+					for _, d := range fig8Degrees {
+						reqs = append(reqs, fig8Req(b, band, d))
+					}
+				}
+			}
+			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
 				base := s.baseline(b) // the default 9.6GB/s machine, as in the paper
-				for _, band := range bands {
-					bd := band
-					row := Row{Label: fmt.Sprintf("%s @ %s", b.Name, bd.label)}
-					for _, d := range degrees {
-						deg := d
-						key := fmt.Sprintf("fig8/%s/%s/d%d", b.Name, bd.label, deg)
-						res := s.run(key, b, func() prefetch.Prefetcher {
-							return core.New(idealizedEBCP(deg))
-						}, func(cfg *sim.Config) {
-							cfg.PBEntries = 1024
-							cfg.Mem.ReadGBps, cfg.Mem.WriteGBps = bd.read, bd.write
-						})
+				for band := range fig8Bands {
+					row := Row{Label: fmt.Sprintf("%s @ %s", b.Name, fig8Bands[band].label)}
+					for _, d := range fig8Degrees {
+						res := s.exec(fig8Req(b, band, d))
 						row.Values = append(row.Values, 100*res.Improvement(base))
 					}
 					rep.Rows = append(rep.Rows, row)
@@ -303,6 +386,15 @@ func fig9Prefetchers() []struct {
 	}
 }
 
+// fig9Req is one comparison cell.
+func fig9Req(bench workload.Params, name string, build func() prefetch.Prefetcher) runReq {
+	return runReq{
+		key:   fmt.Sprintf("fig9/%s/%s", bench.Name, name),
+		bench: bench,
+		pf:    build,
+	}
+}
+
 // Fig9 regenerates the prefetcher comparison.
 func Fig9() Experiment {
 	return Experiment{
@@ -324,12 +416,20 @@ func Fig9() Experiment {
 					"deviation: TCP large is ineffective here on all four (the paper shows gains on the Java benchmarks); our synthetic address streams lack the set-structured tag locality TCP exploits",
 				},
 			}
-			for _, pf := range fig9Prefetchers() {
+			pfs := fig9Prefetchers()
+			var reqs []runReq
+			for _, b := range s.benchmarks() {
+				reqs = append(reqs, baselineReq(b))
+				for _, pf := range pfs {
+					reqs = append(reqs, fig9Req(b, pf.name, pf.build))
+				}
+			}
+			s.ensure(reqs)
+			for _, pf := range pfs {
 				row := Row{Label: pf.name}
 				for _, b := range s.benchmarks() {
 					base := s.baseline(b)
-					key := fmt.Sprintf("fig9/%s/%s", b.Name, pf.name)
-					res := s.run(key, b, pf.build, nil)
+					res := s.exec(fig9Req(b, pf.name, pf.build))
 					row.Values = append(row.Values, 100*res.Improvement(base))
 				}
 				rep.Rows = append(rep.Rows, row)

@@ -1,3 +1,8 @@
+// The render layer: Report is the output of an experiment's collect
+// phase, assembled in a fixed order from memoized results, so everything
+// in this file is deterministic and scheduling-independent — the same
+// session produces byte-identical text/CSV/markdown for any worker
+// count.
 package exp
 
 import (
@@ -7,6 +12,109 @@ import (
 	"strconv"
 	"strings"
 )
+
+// Row is one line of a report: a label and one value per column.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID    string
+	Title string
+	// Unit labels the values ("%", "CPI", ...).
+	Unit    string
+	Columns []string
+	Rows    []Row
+	// Reference carries the paper's values for rows with the same labels
+	// (NaN-free subset; missing rows mean the paper gives no number).
+	Reference []Row
+	Notes     []string
+}
+
+// refFor finds the paper's row for a label.
+func (r *Report) refFor(label string) *Row {
+	for i := range r.Reference {
+		if r.Reference[i].Label == label {
+			return &r.Reference[i]
+		}
+	}
+	return nil
+}
+
+// Render writes the report as an aligned text table, interleaving paper
+// reference rows where available.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s", r.ID, r.Title)
+	if r.Unit != "" {
+		fmt.Fprintf(w, " (%s)", r.Unit)
+	}
+	fmt.Fprintln(w)
+
+	labelW := len("label")
+	for _, row := range r.Rows {
+		if len(row.Label)+8 > labelW {
+			labelW = len(row.Label) + 8
+		}
+	}
+	colW := 10
+	for _, c := range r.Columns {
+		if len(c)+2 > colW {
+			colW = len(c) + 2
+		}
+	}
+	fmt.Fprintf(w, "  %-*s", labelW, "")
+	for _, c := range r.Columns {
+		fmt.Fprintf(w, "%*s", colW, c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-*s", labelW, row.Label)
+		for _, v := range row.Values {
+			fmt.Fprintf(w, "%*.2f", colW, v)
+		}
+		fmt.Fprintln(w)
+		if ref := r.refFor(row.Label); ref != nil {
+			fmt.Fprintf(w, "  %-*s", labelW, "  (paper)")
+			for _, v := range ref.Values {
+				fmt.Fprintf(w, "%*.2f", colW, v)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+// Value looks up a measured value by row label and column name (for
+// tests). ok is false if either is absent.
+func (r *Report) Value(label, column string) (float64, bool) {
+	ci := -1
+	for i, c := range r.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, row := range r.Rows {
+		if row.Label == label && ci < len(row.Values) {
+			return row.Values[ci], true
+		}
+	}
+	return 0, false
+}
 
 // RenderCSV writes the report as CSV: a header row of columns, one row
 // per measured series, and `paper:`-prefixed rows for the reference

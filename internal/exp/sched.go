@@ -1,0 +1,141 @@
+package exp
+
+import (
+	"context"
+	"sync"
+)
+
+// The parallel scheduler. Experiments run in two phases: a *simulate*
+// phase that executes every cell of the run grid across a worker pool,
+// and a *collect* phase that reads the memoized results back in a fixed
+// order to build the report. Because simulations are deterministic and
+// memoized exactly once (single-flight), the collect phase — and hence
+// every Report — is bit-identical regardless of worker count or the
+// order in which the pool happened to finish the work.
+
+// sfGroup is a memoizing single-flight group: concurrent callers of the
+// same key share one computation, and completed values are cached for
+// the life of the group.
+type sfGroup[V any] struct {
+	mu       sync.Mutex
+	memo     map[string]V
+	inflight map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// runStatus says how do satisfied a request.
+type runStatus int
+
+const (
+	// runComputed: this caller executed the computation.
+	runComputed runStatus = iota
+	// runShared: the value came from the memo or from another caller's
+	// in-flight computation.
+	runShared
+	// runCancelled: the value was neither memoized nor in flight and the
+	// context was already cancelled, so nothing ran; v is the zero value.
+	runCancelled
+)
+
+// do returns the value for key, computing it at most once across all
+// callers. A cancelled context prevents *starting* a computation but
+// still serves memoized and in-flight values, so cancelled sessions
+// yield partial results rather than blocking.
+func (g *sfGroup[V]) do(ctx context.Context, key string, compute func() V) (V, runStatus) {
+	g.mu.Lock()
+	if v, ok := g.memo[key]; ok {
+		g.mu.Unlock()
+		return v, runShared
+	}
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, runShared
+	}
+	if ctx.Err() != nil {
+		g.mu.Unlock()
+		var zero V
+		return zero, runCancelled
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	if g.inflight == nil {
+		g.inflight = make(map[string]*flight[V])
+	}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	f.val = compute()
+
+	g.mu.Lock()
+	if g.memo == nil {
+		g.memo = make(map[string]V)
+	}
+	g.memo[key] = f.val
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, runComputed
+}
+
+// len returns how many values the group has memoized.
+func (g *sfGroup[V]) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.memo)
+}
+
+// forEach runs f(0..n-1) across the session's worker pool and waits for
+// completion. With one worker (or one item) it degenerates to a plain
+// ordered loop. Cancellation stops the dispatch of further items; items
+// already dispatched run to completion, so no goroutine outlives the
+// call.
+func (s *Session) forEach(n int, f func(int)) {
+	w := s.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if s.ctx.Err() != nil {
+				return
+			}
+			f(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if s.ctx.Err() != nil {
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ensure is the simulate phase for single-core cells: it executes every
+// not-yet-memoized cell in reqs across the worker pool. After it
+// returns, collect-phase exec calls are memo hits.
+func (s *Session) ensure(reqs []runReq) {
+	s.forEach(len(reqs), func(i int) { s.exec(reqs[i]) })
+}
+
+// ensureCMP is the simulate phase for CMP cells.
+func (s *Session) ensureCMP(reqs []cmpReq) {
+	s.forEach(len(reqs), func(i int) { s.execCMP(reqs[i]) })
+}

@@ -5,6 +5,7 @@ import (
 
 	"ebcp/internal/core"
 	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
 	"ebcp/internal/workload"
 )
 
@@ -48,6 +49,93 @@ func TestGoldenCycleCounts(t *testing.T) {
 					g.name,
 					g.name, base.Core.Cycles, base.L2MissesLoad, pf.Core.Cycles, hits,
 					g.name, g.baseCycles, g.baseMiss, g.ebcpCycles, g.ebcpHits)
+			}
+		})
+	}
+}
+
+// TestGoldenComparisonPrefetcher pins a comparison prefetcher (the small
+// GHB at degree 6, as in Figure 9) the same way TestGoldenCycleCounts
+// pins the baseline and EBCP: exact cycle counts of short deterministic
+// runs, so any behavioural drift in the comparison path is caught too.
+func TestGoldenComparisonPrefetcher(t *testing.T) {
+	golden := []struct {
+		name         string
+		cycles, hits uint64
+	}{
+		{"Database", 6756361, 719},
+		{"SPECjbb2005", 4506029, 578},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			b, err := workload.ByName(g.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Core.OnChipCPI = b.OnChipCPI
+			cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
+
+			res := Run(workload.New(b), prefetch.GHBSmall(6), cfg)
+			hits := res.PB.Hits + res.PB.PartialHits
+			if res.Core.Cycles != g.cycles || hits != g.hits {
+				t.Errorf("golden drift for %s / GHB small:\n  got  {%q, %d, %d}\n  want {%q, %d, %d}\n"+
+					"if this change is intentional, update the golden table and re-validate EXPERIMENTS.md",
+					g.name, g.name, res.Core.Cycles, hits, g.name, g.cycles, g.hits)
+			}
+		})
+	}
+}
+
+// TestGoldenCMP pins a two-core CMP run (EBCP and the no-prefetching
+// baseline sharing the L2, as in the cmp experiment): per-lane cycle
+// counts and aggregate prefetch-buffer hits must not drift.
+func TestGoldenCMP(t *testing.T) {
+	const cores = 2
+	golden := []struct {
+		name       string
+		pf         func() prefetch.Prefetcher
+		laneCycles [cores]uint64
+		hits       uint64
+	}{
+		{"baseline", func() prefetch.Prefetcher { return prefetch.None{} }, [cores]uint64{3872809, 3728771}, 0},
+		{"ebcp", func() prefetch.Prefetcher {
+			cfg := core.DefaultConfig()
+			cfg.Cores = cores
+			return core.New(cfg)
+		}, [cores]uint64{3875645, 3726766}, 13},
+	}
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Core.OnChipCPI = b.OnChipCPI
+			cfg.WarmInsts, cfg.MeasureInsts = 1e6/cores, 2e6/cores
+			sources := make([]trace.Source, cores)
+			for i := range sources {
+				wb := b
+				wb.Seed += int64(i) * 7919
+				sources[i] = workload.New(wb)
+			}
+			res := RunCMP(sources, g.pf(), cfg)
+			if len(res.PerCore) != cores {
+				t.Fatalf("expected %d lanes, got %d", cores, len(res.PerCore))
+			}
+			var hits uint64
+			var laneCycles [cores]uint64
+			for i, lane := range res.PerCore {
+				laneCycles[i] = lane.Core.Cycles
+			}
+			hits = res.PerCore[0].PB.Hits + res.PerCore[0].PB.PartialHits
+			if laneCycles != g.laneCycles || hits != g.hits {
+				t.Errorf("golden drift for CMP/%s:\n  got  {%d, %d}, hits %d\n  want {%d, %d}, hits %d\n"+
+					"if this change is intentional, update the golden table and re-validate EXPERIMENTS.md",
+					g.name, laneCycles[0], laneCycles[1], hits, g.laneCycles[0], g.laneCycles[1], g.hits)
 			}
 		})
 	}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ebcp/internal/amo"
+)
+
+// fuzzRecBytes is how many fuzz-input bytes derive one Record in the
+// round-trip half of FuzzEncodeDecode.
+const fuzzRecBytes = 21
+
+// recordsFromFuzz deterministically interprets fuzz bytes as a record
+// list inside the codec's documented domain: gaps at most maxSaneGap and
+// addresses inside the physical address space. PCs are unconstrained —
+// the format stores them verbatim (or elides them when PC == Addr).
+func recordsFromFuzz(data []byte) []Record {
+	var recs []Record
+	for len(data) >= fuzzRecBytes {
+		c := data[:fuzzRecBytes]
+		data = data[fuzzRecBytes:]
+		recs = append(recs, Record{
+			Gap:           binary.LittleEndian.Uint32(c[0:4]) % (maxSaneGap + 1),
+			Kind:          Kind(c[4] % uint8(numKinds)),
+			Addr:          amo.Addr(binary.LittleEndian.Uint64(c[5:13])) & amo.AddrMask,
+			PC:            amo.PC(binary.LittleEndian.Uint64(c[13:21])),
+			DependsOnMiss: c[4]&0x08 != 0,
+			Serializing:   c[4]&0x10 != 0,
+			BreaksWindow:  c[4]&0x20 != 0,
+		})
+	}
+	return recs
+}
+
+// FuzzEncodeDecode drives the condensed-trace codec two ways from one
+// input. First the raw bytes are decoded directly: however corrupt the
+// stream, the Reader must terminate without panicking and report any
+// malformation via Err. Then the bytes are deterministically
+// reinterpreted as a record list, encoded, and decoded again: the
+// round-trip must reproduce every record exactly, with no extras and no
+// error.
+func FuzzEncodeDecode(f *testing.F) {
+	// Seed corpus: the interesting boundary shapes.
+	f.Add([]byte{})                                  // empty stream
+	f.Add(magic[:])                                  // header only
+	f.Add([]byte("EBCPTRC2 not the right magic"))    // bad magic
+	f.Add(append(append([]byte{}, magic[:]...), 5))  // truncated after gap
+	f.Add(append(append([]byte{}, magic[:]...),      // implausible gap (> maxSaneGap)
+		0xff, 0xff, 0xff, 0xff, 0x7f))
+	valid := func(recs ...Record) []byte {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(valid(
+		Record{Gap: 12, Kind: IFetch, Addr: 0x4000, PC: 0x4000},
+		Record{Gap: 0, Kind: Load, Addr: 0x10_0000, PC: 0x4004, DependsOnMiss: true},
+		Record{Gap: 3, Kind: Store, Addr: 0x8_0000, PC: 0x4008, Serializing: true, BreaksWindow: true},
+	))
+	// A round-trip-shaped input: exactly two records' worth of bytes.
+	f.Add(bytes.Repeat([]byte{0xa5}, 2*fuzzRecBytes))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// (a) Arbitrary bytes must never panic the decoder. The record
+		// count is bounded: each record consumes at least one byte, so the
+		// loop terminates; cap it anyway so a decoder bug cannot hang the
+		// fuzzer.
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i <= len(data); i++ {
+			if _, ok := r.Next(); !ok {
+				break
+			}
+		}
+		// Next after exhaustion must stay exhausted.
+		if _, ok := r.Next(); ok {
+			t.Error("Next returned a record after reporting exhaustion")
+		}
+
+		// (b) decode(encode(records)) round-trips exactly.
+		recs := recordsFromFuzz(data)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		if w.Count() != uint64(len(recs)) {
+			t.Fatalf("writer counted %d records, wrote %d", w.Count(), len(recs))
+		}
+		rd := NewReader(bytes.NewReader(buf.Bytes()))
+		for i, want := range recs {
+			got, ok := rd.Next()
+			if !ok {
+				t.Fatalf("record %d missing after decode: %v", i, rd.Err())
+			}
+			if got != want {
+				t.Fatalf("record %d round-trip mismatch:\n got  %+v\n want %+v", i, got, want)
+			}
+		}
+		if _, ok := rd.Next(); ok {
+			t.Fatal("decoder produced records beyond the encoded stream")
+		}
+		if err := rd.Err(); err != nil {
+			t.Fatalf("clean stream decoded with error: %v", err)
+		}
+	})
+}
