@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet race race-short fuzz bench-parallel
+.PHONY: tier1 vet race race-short fuzz bench-parallel bench-json
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -31,3 +31,11 @@ fuzz:
 # Serial vs parallel session wall-clock comparison (speedup needs >1 CPU).
 bench-parallel:
 	go test -bench 'BenchmarkSession(Serial|Parallel)' -benchtime 1x -count 1
+
+# Refresh the committed throughput baseline: single-run simulator speed
+# (Minsts/s, allocs/op) plus the serial/parallel session grid, as JSON.
+# Compare against the committed BENCH_throughput.json before/after perf
+# work; see EXPERIMENTS.md ("Performance workflow").
+bench-json:
+	go test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkSession(Serial|Parallel)' \
+		-benchmem -benchtime 1x -count 1 . | go run ./cmd/benchjson -o BENCH_throughput.json

@@ -152,6 +152,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 	cfg := DefaultSystem(bench)
 	cfg.WarmInsts = 0
 	cfg.MeasureInsts = 5_000_000
+	b.ReportAllocs()
 	b.ResetTimer()
 	var insts uint64
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,142 @@
+// Command benchjson converts `go test -bench` output into a small JSON
+// document suitable for committing as a performance baseline (see the
+// Makefile's bench-json target, which writes BENCH_throughput.json).
+//
+// It reads benchmark output on stdin and emits one JSON object per
+// benchmark line, collecting the standard ns/op and -benchmem columns
+// plus every custom b.ReportMetric pair (Minsts/s, workers, ...):
+//
+//	go test -bench BenchmarkSimThroughput -benchmem -benchtime 1x | benchjson -o BENCH_throughput.json
+//
+// Non-benchmark lines (experiment reports, PASS/ok trailers) pass
+// through untouched so the tool can sit at the end of a pipe.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed
+	// (the suffix is recorded in Procs).
+	Name  string  `json:"name"`
+	Procs int     `json:"procs"`
+	Iters int64   `json:"iters"`
+	NsOp  float64 `json:"ns_per_op"`
+	// BytesOp/AllocsOp are present when the run used -benchmem.
+	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric columns keyed by unit
+	// (e.g. "Minsts/s", "workers", "db-CPI").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted file: enough machine context to make later
+// comparisons honest, then the results in input order.
+type Doc struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "write JSON here (default stdout; benchmark text then echoes to stderr)")
+	flag.Parse()
+
+	doc := Doc{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	echo := os.Stdout
+	if *out == "" {
+		echo = os.Stderr
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if r, ok := parseLine(line); ok {
+			doc.Results = append(doc.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `go test -bench` result line:
+//
+//	BenchmarkFoo-8   1   123456 ns/op   9.81 MB/s   241.9 Minsts/s   5453 allocs/op
+//
+// The grammar after the iteration count is value-unit pairs.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Procs: 1, Iters: iters}
+	if i := strings.LastIndexByte(f[0], '-'); i > 0 {
+		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
+			r.Name, r.Procs = f[0][:i], p
+		}
+	}
+	sawNsOp := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			r.NsOp, sawNsOp = v, true
+		case "B/op":
+			r.BytesOp = &v
+		case "allocs/op":
+			r.AllocsOp = &v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, sawNsOp
+}

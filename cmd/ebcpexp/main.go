@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,16 +28,25 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		scale   = flag.Float64("scale", 1.0, "scale the warm/measure windows (1.0 = paper's 150M+100M)")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		format  = flag.String("format", "text", "output format: text | csv | markdown")
-		outFile = flag.String("o", "", "write reports to a file instead of stdout")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
-		timeout = flag.Duration("timeout", 0, "stop scheduling new simulations after this long and render partial reports (0 = no limit)")
+		which      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "scale the warm/measure windows (1.0 = paper's 150M+100M)")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+		format     = flag.String("format", "text", "output format: text | csv | markdown")
+		outFile    = flag.String("o", "", "write reports to a file instead of stdout")
+		workers    = flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
+		timeout    = flag.Duration("timeout", 0, "stop scheduling new simulations after this long and render partial reports (0 = no limit)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, e := range exp.All() {
@@ -105,6 +116,48 @@ func main() {
 		session.Runs(), session.CacheHits())
 	if err := session.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "ebcpexp: %v — reports above are partial (unsimulated cells are zero)\n", err)
+		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot for the
+// returned stop function. The stop function is idempotent so the partial-
+// report exit path can flush explicitly before os.Exit.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return func() {}, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return func() {}, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
 }

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,8 +34,17 @@ func main() {
 		writeGBps    = flag.Float64("write-gbps", 4.8, "memory write bandwidth")
 		noBase       = flag.Bool("nobase", false, "skip the baseline run")
 		timeout      = flag.Duration("timeout", 0, "hard wall-clock limit; exceeding it aborts the process (0 = no limit)")
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	if *timeout > 0 {
 		time.AfterFunc(*timeout, func() {
@@ -80,6 +91,44 @@ func main() {
 		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base))
 		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base))
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot for the
+// returned stop function (call it once, on the normal exit path; error
+// exits skip the flush, which only loses profile data).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the snapshot shows live data
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 func buildPrefetcher(name string, degree, tableEntries int) (ebcp.Prefetcher, error) {

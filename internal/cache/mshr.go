@@ -6,22 +6,32 @@ import "ebcp/internal/amo"
 // addresses with an outstanding miss. Requests to a line that is already
 // outstanding merge into the existing entry. A full MSHR file prevents new
 // misses from issuing, which the core treats as a stall condition.
+//
+// The file is a fixed array sized to its architectural capacity (a few
+// dozen entries); linear scans over it are faster than map operations at
+// this size and allocate nothing after construction.
 type MSHR struct {
-	capacity int
-	pending  map[amo.Line]uint64 // line -> completion cycle
-	merged   uint64
+	capacity    int
+	lines       []amo.Line
+	completions []uint64
+	n           int
+	merged      uint64
 }
 
 // NewMSHR creates an MSHR file with the given number of entries.
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, pending: make(map[amo.Line]uint64, capacity)}
+	return &MSHR{
+		capacity:    capacity,
+		lines:       make([]amo.Line, capacity),
+		completions: make([]uint64, capacity),
+	}
 }
 
 // Full reports whether no new miss can be allocated.
-func (m *MSHR) Full() bool { return len(m.pending) >= m.capacity }
+func (m *MSHR) Full() bool { return m.n >= m.capacity }
 
 // Outstanding returns the number of in-flight misses.
-func (m *MSHR) Outstanding() int { return len(m.pending) }
+func (m *MSHR) Outstanding() int { return m.n }
 
 // Capacity returns the number of entries.
 func (m *MSHR) Capacity() int { return m.capacity }
@@ -29,11 +39,23 @@ func (m *MSHR) Capacity() int { return m.capacity }
 // Merged returns how many requests were merged into existing entries.
 func (m *MSHR) Merged() uint64 { return m.merged }
 
+// find returns the entry index of l, or -1.
+func (m *MSHR) find(l amo.Line) int {
+	for i := 0; i < m.n; i++ {
+		if m.lines[i] == l {
+			return i
+		}
+	}
+	return -1
+}
+
 // Lookup reports whether the line is already outstanding and, if so, when
 // it completes.
 func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
-	completion, outstanding = m.pending[l]
-	return
+	if i := m.find(l); i >= 0 {
+		return m.completions[i], true
+	}
+	return 0, false
 }
 
 // Allocate records a new outstanding miss completing at the given cycle.
@@ -41,48 +63,50 @@ func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
 // completion wins) and Allocate reports merged=true. Allocating into a
 // full MSHR file panics: callers must check Full first.
 func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool) {
-	if prev, ok := m.pending[l]; ok {
+	if i := m.find(l); i >= 0 {
 		m.merged++
-		if completion < prev {
-			m.pending[l] = completion
+		if completion < m.completions[i] {
+			m.completions[i] = completion
 		}
 		return true
 	}
 	if m.Full() {
 		panic("cache: MSHR allocate on full file")
 	}
-	m.pending[l] = completion
+	m.lines[m.n] = l
+	m.completions[m.n] = completion
+	m.n++
 	return false
 }
 
 // CompleteThrough releases every entry whose completion cycle is <= now and
 // returns how many were released.
 func (m *MSHR) CompleteThrough(now uint64) int {
-	n := 0
-	for l, c := range m.pending {
-		if c <= now {
-			delete(m.pending, l)
-			n++
+	released := 0
+	for i := 0; i < m.n; {
+		if m.completions[i] <= now {
+			m.n--
+			m.lines[i] = m.lines[m.n]
+			m.completions[i] = m.completions[m.n]
+			released++
+			continue // re-examine the entry swapped into i
 		}
+		i++
 	}
-	return n
+	return released
 }
 
 // MaxCompletion returns the latest completion cycle among outstanding
 // entries (0 if none).
 func (m *MSHR) MaxCompletion() uint64 {
 	var max uint64
-	for _, c := range m.pending {
-		if c > max {
-			max = c
+	for i := 0; i < m.n; i++ {
+		if m.completions[i] > max {
+			max = m.completions[i]
 		}
 	}
 	return max
 }
 
 // Reset drops all outstanding entries (used at simulation boundaries).
-func (m *MSHR) Reset() {
-	for l := range m.pending {
-		delete(m.pending, l)
-	}
-}
+func (m *MSHR) Reset() { m.n = 0 }

@@ -141,13 +141,22 @@ func (e *emabEntry) reset() {
 // control: an EMAB and the virtual-epoch cursor. The correlation table is
 // shared across threads.
 type coreState struct {
-	// emab[0] records the current epoch; emab[k] the k-th previous one.
-	// Entries are reused across rotations.
+	// emab is a ring buffer: entry(0) records the current epoch, entry(k)
+	// the k-th previous one; head is the ring position of entry(0).
+	// Entries are reused across rotations (rotation just moves head — at
+	// one rotation per epoch, copying the entries would be a measurable
+	// share of the simulator's hot path).
 	emab []emabEntry
+	head int
 
 	// Virtual-epoch tracking: the instruction count of the last boundary.
 	vTrigger    uint64
 	sawBoundary bool
+}
+
+// entry returns the EMAB entry of the k-th previous epoch (0 = current).
+func (cs *coreState) entry(k int) *emabEntry {
+	return &cs.emab[(cs.head+k)%len(cs.emab)]
 }
 
 // EBCP is the epoch-based correlation prefetcher.
@@ -155,6 +164,10 @@ type EBCP struct {
 	cfg   Config
 	table *corrtab.Table
 	cores []coreState
+
+	// payload is the reusable training scratch buffer (corrtab.Update
+	// copies out of it, so reuse across trainings is safe).
+	payload []amo.Line
 
 	active bool
 	stats  Stats
@@ -176,10 +189,11 @@ func New(cfg Config) *EBCP {
 		cores[c].emab = emab
 	}
 	return &EBCP{
-		cfg:    cfg,
-		table:  corrtab.New(corrtab.Config{Entries: cfg.TableEntries, MaxAddrs: cfg.TableMaxAddrs}),
-		cores:  cores,
-		active: true,
+		cfg:     cfg,
+		table:   corrtab.New(corrtab.Config{Entries: cfg.TableEntries, MaxAddrs: cfg.TableMaxAddrs}),
+		cores:   cores,
+		payload: make([]amo.Line, 0, 2*cfg.EMABMaxAddrs),
+		active:  true,
 	}
 }
 
@@ -268,7 +282,7 @@ func (e *EBCP) OnAccess(a prefetch.Access, ctx *prefetch.Context) {
 		e.lookup(a, ctx)
 	}
 
-	cur := &cs.emab[0]
+	cur := cs.entry(0)
 	if !cur.hasKey {
 		// The epoch's first off-chip access keys the entry, whether it is
 		// a real miss or the prefetch-buffer hit standing in for one.
@@ -298,7 +312,7 @@ func (e *EBCP) OnAccess(a prefetch.Access, ctx *prefetch.Context) {
 // instead stores the two epochs immediately after the trigger.
 func (e *EBCP) train(cs *coreState, now uint64, ctx *prefetch.Context) {
 	n := len(cs.emab)
-	oldest := &cs.emab[n-1]
+	oldest := cs.entry(n - 1)
 	if !oldest.hasKey {
 		return // empty epoch slot: nothing to key on
 	}
@@ -306,16 +320,16 @@ func (e *EBCP) train(cs *coreState, now uint64, ctx *prefetch.Context) {
 
 	var older, newer []amo.Line
 	if e.cfg.Minus {
-		older, newer = cs.emab[n-2].misses, cs.emab[n-3].misses
+		older, newer = cs.entry(n-2).misses, cs.entry(n-3).misses
 	} else {
-		older, newer = cs.emab[1].misses, cs.emab[0].misses
+		older, newer = cs.entry(1).misses, cs.entry(0).misses
 	}
 	if len(older)+len(newer) == 0 {
 		return
 	}
-	payload := make([]amo.Line, 0, len(older)+len(newer))
-	payload = append(payload, older...)
+	payload := append(e.payload[:0], older...)
 	payload = append(payload, newer...)
+	e.payload = payload[:0]
 
 	// Read-modify-write of the 64B entry: the read is not timing critical
 	// and the write may be dropped under bandwidth pressure, losing the
@@ -330,13 +344,11 @@ func (e *EBCP) train(cs *coreState, now uint64, ctx *prefetch.Context) {
 }
 
 // rotate advances the EMAB: the oldest entry is recycled as the new
-// current epoch's (empty) entry.
+// current epoch's (empty) entry by stepping the ring head back onto it.
 func (e *EBCP) rotate(cs *coreState) {
 	n := len(cs.emab)
-	old := cs.emab[n-1]
-	copy(cs.emab[1:], cs.emab[:n-1])
-	old.reset()
-	cs.emab[0] = old
+	cs.head = (cs.head + n - 1) % n
+	cs.entry(0).reset()
 }
 
 // lookup reads the correlation table entry keyed by the first access of

@@ -297,3 +297,157 @@ func TestMatchesReferenceModel(t *testing.T) {
 		}
 	}
 }
+
+// legacyTable is the pre-flat-storage implementation of the correlation
+// table (map of pointer-chased entries with per-entry slices), kept as the
+// behavioural oracle for the paged layout: TestDifferentialLegacyVsPaged
+// drives both with identical fuzzed operation sequences and requires
+// identical addresses, stats and occupancy at every step.
+type legacyTable struct {
+	cfg     Config
+	mask    uint64
+	entries map[uint64]*legacyEntry
+	stats   Stats
+}
+
+type legacyEntry struct {
+	tag   uint64
+	addrs []amo.Line // MRU first
+}
+
+func newLegacy(cfg Config) *legacyTable {
+	return &legacyTable{
+		cfg:     cfg,
+		mask:    uint64(cfg.Entries - 1),
+		entries: make(map[uint64]*legacyEntry),
+	}
+}
+
+func (t *legacyTable) Lookup(key amo.Line) []amo.Line {
+	t.stats.Lookups++
+	e := t.entries[uint64(key)&t.mask]
+	if e == nil || e.tag != uint64(key) {
+		return nil
+	}
+	t.stats.Hits++
+	return e.addrs
+}
+
+func (t *legacyTable) Update(key amo.Line, addrs []amo.Line) {
+	t.stats.Updates++
+	idx := uint64(key) & t.mask
+	e := t.entries[idx]
+	if e == nil || e.tag != uint64(key) {
+		if e != nil {
+			t.stats.ConflictEvictions++
+		}
+		t.stats.Allocations++
+		e = &legacyEntry{tag: uint64(key), addrs: make([]amo.Line, 0, t.cfg.MaxAddrs)}
+		t.entries[idx] = e
+		if len(addrs) > t.cfg.MaxAddrs {
+			addrs = addrs[:t.cfg.MaxAddrs]
+		}
+	}
+	for i := len(addrs) - 1; i >= 0; i-- {
+		t.promote(e, addrs[i])
+	}
+}
+
+func (t *legacyTable) promote(e *legacyEntry, a amo.Line) {
+	for i, x := range e.addrs {
+		if x == a {
+			copy(e.addrs[1:i+1], e.addrs[:i])
+			e.addrs[0] = a
+			return
+		}
+	}
+	if len(e.addrs) < t.cfg.MaxAddrs {
+		e.addrs = append(e.addrs, 0)
+	}
+	copy(e.addrs[1:], e.addrs)
+	e.addrs[0] = a
+}
+
+func (t *legacyTable) Touch(index uint64, used amo.Line) {
+	e := t.entries[index&t.mask]
+	if e == nil {
+		return
+	}
+	for i, x := range e.addrs {
+		if x == used {
+			copy(e.addrs[1:i+1], e.addrs[:i])
+			e.addrs[0] = used
+			t.stats.Touches++
+			return
+		}
+	}
+}
+
+func (t *legacyTable) Reclaim()       { t.entries = make(map[uint64]*legacyEntry) }
+func (t *legacyTable) Occupancy() int { return len(t.entries) }
+
+// TestDifferentialLegacyVsPaged fuzzes update/lookup/touch/reclaim
+// sequences into the paged table and the legacy map-backed layout and
+// asserts identical observable behaviour: returned address lists, the
+// full stats struct, and occupancy.
+func TestDifferentialLegacyVsPaged(t *testing.T) {
+	configs := []Config{
+		{Entries: 64, MaxAddrs: 4},
+		{Entries: 1024, MaxAddrs: 8},
+		{Entries: 1 << 20, MaxAddrs: 32}, // sparse: touched indices ≪ entries
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		for seed := int64(1); seed <= 4; seed++ {
+			rng := rand.New(rand.NewSource(seed * 997))
+			tb := New(cfg)
+			ref := newLegacy(cfg)
+			// Key space wider than the table forces tag conflicts; a
+			// handful of hot keys forces promote/merge paths.
+			keyFor := func() amo.Line {
+				if rng.Intn(4) == 0 {
+					return amo.Line(rng.Intn(16))
+				}
+				return amo.Line(rng.Uint64() % uint64(4*cfg.Entries))
+			}
+			for i := 0; i < 20000; i++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // update
+					key := keyFor()
+					addrs := make([]amo.Line, rng.Intn(cfg.MaxAddrs+3))
+					for j := range addrs {
+						addrs[j] = amo.Line(rng.Intn(128))
+					}
+					tb.Update(key, addrs)
+					ref.Update(key, addrs)
+				case op < 8: // lookup
+					key := keyFor()
+					got, want := tb.Lookup(key), ref.Lookup(key)
+					if len(got) != len(want) {
+						t.Fatalf("cfg %+v seed %d step %d: Lookup(%v) = %v, legacy %v", cfg, seed, i, key, got, want)
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("cfg %+v seed %d step %d: Lookup(%v) = %v, legacy %v", cfg, seed, i, key, got, want)
+						}
+					}
+				case op < 9: // touch
+					key, a := keyFor(), amo.Line(rng.Intn(128))
+					tb.Touch(tb.Index(key), a)
+					ref.Touch(tb.Index(key), a)
+				default:
+					if rng.Intn(200) == 0 { // rare, as in real runs
+						tb.Reclaim()
+						ref.Reclaim()
+					}
+				}
+				if tb.Stats() != ref.stats {
+					t.Fatalf("cfg %+v seed %d step %d: stats %+v, legacy %+v", cfg, seed, i, tb.Stats(), ref.stats)
+				}
+				if tb.Occupancy() != ref.Occupancy() {
+					t.Fatalf("cfg %+v seed %d step %d: occupancy %d, legacy %d", cfg, seed, i, tb.Occupancy(), ref.Occupancy())
+				}
+			}
+		}
+	}
+}

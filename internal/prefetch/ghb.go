@@ -27,6 +27,11 @@ import "ebcp/internal/amo"
 // occurrence of the pair — while modelling the storage capacity honestly:
 // GHB small (16K-entry index table + 16K-entry buffer, ~256KB) thrashes
 // on working sets that GHB large (256K entries each, ~4MB) captures.
+//
+// Both tables are slot rings: entry state lives in flat arrays indexed by
+// FIFO position (eviction overwrites in place), and a fixed-size
+// open-addressed index maps keys to slots. The miss-stream hot path
+// therefore runs map-free and allocation-free after construction.
 type GHB struct {
 	label    string
 	degree   int
@@ -34,27 +39,28 @@ type GHB struct {
 	capacity int
 	idxSize  int
 
-	// Delta-pair continuation table with FIFO eviction.
-	table map[uint64]*ghbEntry
-	fifo  []uint64
-	pos   int
+	// Delta-pair continuation table with FIFO eviction: slot s holds key
+	// tabKeys[s] and its tabLens[s] continuation deltas at
+	// tabDeltas[s*depth:].
+	tabKeys   []uint64
+	tabLens   []uint16
+	tabDeltas []int64
+	tabN      int
+	tabPos    int
+	tabIdx    oaMap
 
-	// Per-PC recent-address state with FIFO eviction (the index table).
-	pcs    map[amo.PC]*ghbPCState
-	pcFIFO []amo.PC
-	pcPos  int
-}
-
-type ghbEntry struct {
-	deltas []int64
-}
-
-type ghbPCState struct {
-	last [2]amo.Line
-	have int
-	// recent holds the keys of the last `depth` delta pairs, newest last,
-	// so each new delta can extend their continuations.
-	recent []uint64
+	// Per-PC recent-address state with FIFO eviction (the index table):
+	// slot s holds the PC's last two miss lines, and the keys of its last
+	// `depth` delta pairs (newest last) at pcRecent[s*depth:].
+	pcKeys   []uint64
+	pcLast0  []amo.Line
+	pcLast1  []amo.Line
+	pcHave   []uint8
+	pcRecLen []uint16
+	pcRecent []uint64
+	pcN      int
+	pcPos    int
+	pcIdx    oaMap
 }
 
 // ifetchPC is the synthetic index-table key under which all instruction
@@ -65,19 +71,26 @@ const ifetchPC = amo.PC(1)
 // NewGHB builds a GHB PC/DC prefetcher with the given index-table and
 // history-buffer sizes and prefetch degree.
 func NewGHB(label string, indexEntries, bufferEntries, degree int) *GHB {
-	if indexEntries <= 0 || bufferEntries <= 0 || degree <= 0 {
+	if indexEntries <= 0 || bufferEntries <= 0 || degree <= 0 || degree > 1<<15 {
 		panic("prefetch: invalid GHB shape")
 	}
 	return &GHB{
-		label:    label,
-		degree:   degree,
-		depth:    degree,
-		capacity: bufferEntries,
-		idxSize:  indexEntries,
-		table:    make(map[uint64]*ghbEntry, bufferEntries),
-		fifo:     make([]uint64, 0, bufferEntries),
-		pcs:      make(map[amo.PC]*ghbPCState, indexEntries),
-		pcFIFO:   make([]amo.PC, 0, indexEntries),
+		label:     label,
+		degree:    degree,
+		depth:     degree,
+		capacity:  bufferEntries,
+		idxSize:   indexEntries,
+		tabKeys:   make([]uint64, bufferEntries),
+		tabLens:   make([]uint16, bufferEntries),
+		tabDeltas: make([]int64, bufferEntries*degree),
+		tabIdx:    newOAMap(bufferEntries),
+		pcKeys:    make([]uint64, indexEntries),
+		pcLast0:   make([]amo.Line, indexEntries),
+		pcLast1:   make([]amo.Line, indexEntries),
+		pcHave:    make([]uint8, indexEntries),
+		pcRecLen:  make([]uint16, indexEntries),
+		pcRecent:  make([]uint64, indexEntries*degree),
+		pcIdx:     newOAMap(indexEntries),
 	}
 }
 
@@ -98,36 +111,127 @@ func ghbKey(pc amo.PC, d1, d2 int64) uint64 {
 	return h ^ (h >> 31)
 }
 
-func (g *GHB) pcState(key amo.PC) *ghbPCState {
-	if st, ok := g.pcs[key]; ok {
-		return st
-	}
-	st := &ghbPCState{recent: make([]uint64, 0, 8)}
-	if len(g.pcFIFO) < g.idxSize {
-		g.pcFIFO = append(g.pcFIFO, key)
-	} else {
-		delete(g.pcs, g.pcFIFO[g.pcPos])
-		g.pcFIFO[g.pcPos] = key
-		g.pcPos = (g.pcPos + 1) % g.idxSize
-	}
-	g.pcs[key] = st
-	return st
+// oaMap is a fixed-size open-addressed hash map (linear probing,
+// backward-shift deletion) from uint64 keys to slot numbers. It is sized
+// to twice its owner's entry bound, so the load factor never exceeds 1/2
+// and it never grows. vals[i] < 0 marks an empty probe slot, which lets
+// keys take any uint64 value.
+type oaMap struct {
+	mask uint64
+	keys []uint64
+	vals []int32
 }
 
-func (g *GHB) entry(key uint64) *ghbEntry {
-	if e, ok := g.table[key]; ok {
-		return e
+func newOAMap(entries int) oaMap {
+	n := 16
+	for n < 2*entries {
+		n *= 2
 	}
-	e := &ghbEntry{deltas: make([]int64, 0, g.depth)}
-	if len(g.fifo) < g.capacity {
-		g.fifo = append(g.fifo, key)
+	m := oaMap{mask: uint64(n - 1), keys: make([]uint64, n), vals: make([]int32, n)}
+	for i := range m.vals {
+		m.vals[i] = -1
+	}
+	return m
+}
+
+func oaHash(key uint64) uint64 {
+	h := key * 0x9e3779b97f4a7c15
+	return h ^ (h >> 29)
+}
+
+func (m *oaMap) get(key uint64) (int32, bool) {
+	for i := oaHash(key) & m.mask; m.vals[i] >= 0; i = (i + 1) & m.mask {
+		if m.keys[i] == key {
+			return m.vals[i], true
+		}
+	}
+	return 0, false
+}
+
+// put inserts key (which must not be present) with the given slot value.
+func (m *oaMap) put(key uint64, v int32) {
+	i := oaHash(key) & m.mask
+	for m.vals[i] >= 0 {
+		i = (i + 1) & m.mask
+	}
+	m.keys[i], m.vals[i] = key, v
+}
+
+// del removes key if present, back-shifting the probe chain so no
+// tombstones accumulate.
+func (m *oaMap) del(key uint64) {
+	i := oaHash(key) & m.mask
+	for {
+		if m.vals[i] < 0 {
+			return
+		}
+		if m.keys[i] == key {
+			break
+		}
+		i = (i + 1) & m.mask
+	}
+	j := i
+	for {
+		j = (j + 1) & m.mask
+		if m.vals[j] < 0 {
+			break
+		}
+		// The entry at j may fill the hole at i only if its home slot is
+		// cyclically outside (i, j] — otherwise moving it would break its
+		// own probe chain.
+		h := oaHash(m.keys[j]) & m.mask
+		var movable bool
+		if i <= j {
+			movable = h <= i || h > j
+		} else {
+			movable = h <= i && h > j
+		}
+		if movable {
+			m.keys[i], m.vals[i] = m.keys[j], m.vals[j]
+			i = j
+		}
+	}
+	m.vals[i] = -1
+}
+
+// pcSlot returns the index-table slot for a PC, allocating (with FIFO
+// eviction) if absent.
+func (g *GHB) pcSlot(key amo.PC) int32 {
+	if s, ok := g.pcIdx.get(uint64(key)); ok {
+		return s
+	}
+	var s int32
+	if g.pcN < g.idxSize {
+		s = int32(g.pcN)
+		g.pcN++
 	} else {
-		delete(g.table, g.fifo[g.pos])
-		g.fifo[g.pos] = key
-		g.pos = (g.pos + 1) % g.capacity
+		s = int32(g.pcPos)
+		g.pcIdx.del(g.pcKeys[s])
+		g.pcPos = (g.pcPos + 1) % g.idxSize
 	}
-	g.table[key] = e
-	return e
+	g.pcKeys[s] = uint64(key)
+	g.pcHave[s] = 0
+	g.pcRecLen[s] = 0
+	g.pcIdx.put(uint64(key), s)
+	return s
+}
+
+// newTabSlot allocates a continuation-table slot for key (which must not
+// be present), evicting FIFO when the ring is full.
+func (g *GHB) newTabSlot(key uint64) int32 {
+	var s int32
+	if g.tabN < g.capacity {
+		s = int32(g.tabN)
+		g.tabN++
+	} else {
+		s = int32(g.tabPos)
+		g.tabIdx.del(g.tabKeys[s])
+		g.tabPos = (g.tabPos + 1) % g.capacity
+	}
+	g.tabKeys[s] = key
+	g.tabLens[s] = 0
+	g.tabIdx.put(key, s)
+	return s
 }
 
 // OnAccess implements Prefetcher.
@@ -141,55 +245,63 @@ func (g *GHB) OnAccess(a Access, ctx *Context) {
 	if a.IFetch {
 		key = ifetchPC
 	}
-	st := g.pcState(key)
-	switch st.have {
+	s := g.pcSlot(key)
+	switch g.pcHave[s] {
 	case 0:
-		st.last[1] = a.Line
-		st.have = 1
+		g.pcLast1[s] = a.Line
+		g.pcHave[s] = 1
 		return
 	case 1:
-		st.last[0], st.last[1] = st.last[1], a.Line
-		st.have = 2
+		g.pcLast0[s], g.pcLast1[s] = g.pcLast1[s], a.Line
+		g.pcHave[s] = 2
 		return
 	}
 
-	d := int64(a.Line) - int64(st.last[1])
+	d := int64(a.Line) - int64(g.pcLast1[s])
 	// Extend the continuations of the recent pairs with this delta: the
 	// pair that ended j misses ago learns this as its j-th follower (the
 	// most recent occurrence wins, as in the linked-list search).
-	for j := len(st.recent) - 1; j >= 0; j-- {
-		e, ok := g.table[st.recent[j]]
+	recent := g.pcRecent[int(s)*g.depth:][:g.pcRecLen[s]]
+	for j := len(recent) - 1; j >= 0; j-- {
+		ts, ok := g.tabIdx.get(recent[j])
 		if !ok {
 			continue
 		}
-		age := len(st.recent) - 1 - j
-		switch {
-		case len(e.deltas) == age:
-			e.deltas = append(e.deltas, d)
-		case len(e.deltas) > age:
-			e.deltas[age] = d
+		age := len(recent) - 1 - j
+		switch n := int(g.tabLens[ts]); {
+		case n == age:
+			g.tabDeltas[int(ts)*g.depth+age] = d
+			g.tabLens[ts] = uint16(age + 1)
+		case n > age:
+			g.tabDeltas[int(ts)*g.depth+age] = d
 		}
 	}
 
-	d1 := int64(st.last[1]) - int64(st.last[0])
+	d1 := int64(g.pcLast1[s]) - int64(g.pcLast0[s])
 	k := ghbKey(key, d1, d)
 
 	// Predict: replay the continuation recorded for this pair.
-	if e, ok := g.table[k]; ok && len(e.deltas) > 0 {
-		cur := a.Line
-		for i := 0; i < len(e.deltas) && i < g.degree; i++ {
-			cur = cur.Add(e.deltas[i])
-			ctx.Prefetch(a.Now, cur, NoTable)
+	if ts, ok := g.tabIdx.get(k); ok {
+		if n := int(g.tabLens[ts]); n > 0 {
+			cur := a.Line
+			deltas := g.tabDeltas[int(ts)*g.depth:][:n]
+			for i := 0; i < len(deltas) && i < g.degree; i++ {
+				cur = cur.Add(deltas[i])
+				ctx.Prefetch(a.Now, cur, NoTable)
+			}
 		}
 	} else {
-		g.entry(k) // allocate so followers can train it
+		g.newTabSlot(k) // allocate so followers can train it
 	}
 
 	// Slide state.
-	st.recent = append(st.recent, k)
-	if len(st.recent) > g.depth {
-		copy(st.recent, st.recent[1:])
-		st.recent = st.recent[:g.depth]
+	rec := g.pcRecent[int(s)*g.depth:][:g.depth]
+	if n := int(g.pcRecLen[s]); n < g.depth {
+		rec[n] = k
+		g.pcRecLen[s] = uint16(n + 1)
+	} else {
+		copy(rec, rec[1:])
+		rec[g.depth-1] = k
 	}
-	st.last[0], st.last[1] = st.last[1], a.Line
+	g.pcLast0[s], g.pcLast1[s] = g.pcLast1[s], a.Line
 }

@@ -98,6 +98,15 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 		lanes[i] = newLane(i, cfg)
 	}
 
+	// The lane interleaving is decided record-by-record by the local
+	// clocks, so the loop itself cannot batch; per-lane Batchers amortize
+	// the interface dispatch instead. Each lane still receives exactly its
+	// own source's record sequence.
+	srcs := make([]trace.Source, len(sources))
+	for i, s := range sources {
+		srcs[i] = trace.NewBatcher(s, 1024)
+	}
+
 	warmEnd := cfg.WarmInsts
 	measureEnd := make([]uint64, len(lanes))
 	running := make([]bool, len(lanes))
@@ -124,6 +133,19 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 	if warmedAll {
 		resetAll()
 	}
+	// shortWarm records that some lane's source was exhausted before it
+	// warmed: the grid-wide reset then ran early (or not at all), so every
+	// lane's measurement includes warmup.
+	shortWarm := false
+	checkAllWarmed := func() {
+		for _, w := range warmedLane {
+			if !w {
+				return
+			}
+		}
+		warmedAll = true
+		resetAll()
+	}
 
 	active := len(lanes)
 	for active > 0 {
@@ -135,10 +157,19 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 			}
 		}
 		l := lanes[li]
-		rec, ok := sources[li].Next()
+		rec, ok := srcs[li].Next()
 		if !ok {
 			running[li] = false
 			active--
+			if !warmedAll && !warmedLane[li] {
+				// The lane's trace ended inside its warmup window: the grid
+				// can never warm fully. Count it as warmed so the remaining
+				// lanes proceed to a (flagged) measurement instead of
+				// spinning forever on the unreachable reset.
+				shortWarm = true
+				warmedLane[li] = true
+				checkAllWarmed()
+			}
 			continue
 		}
 		r.step(l, rec)
@@ -146,14 +177,7 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 		if !warmedAll {
 			if !warmedLane[li] && l.core.Insts() >= warmEnd {
 				warmedLane[li] = true
-				all := true
-				for _, w := range warmedLane {
-					all = all && w
-				}
-				if all {
-					warmedAll = true
-					resetAll()
-				}
+				checkAllWarmed()
 			}
 			continue
 		}
@@ -166,7 +190,11 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 	out := CMPResult{Prefetcher: pf.Name()}
 	for _, l := range lanes {
 		l.core.CloseEpoch()
-		out.PerCore = append(out.PerCore, r.laneResult(l))
+		res := r.laneResult(l)
+		// Statistics reset only once every lane warms, so one short trace
+		// pollutes every lane's measurement window.
+		res.WarmupIncomplete = shortWarm || !warmedAll
+		out.PerCore = append(out.PerCore, res)
 	}
 	return out
 }

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"ebcp/internal/core"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+	"ebcp/internal/workload"
+)
+
+// nextOnly hides a source's ReadBatch so Run must take the per-record
+// fallback path.
+type nextOnly struct{ s trace.Source }
+
+func (n nextOnly) Next() (trace.Record, bool) { return n.s.Next() }
+
+// TestBatchedRunMatchesPerRecord locks the batched-Source contract at the
+// Runner level: a run fed through the bulk ReadBatch path returns exactly
+// the same Result as one fed record-by-record.
+func TestBatchedRunMatchesPerRecord(t *testing.T) {
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 200_000, 500_000
+
+	batched := Run(workload.New(b), core.New(core.DefaultConfig()), cfg)
+	perRecord := Run(nextOnly{workload.New(b)}, core.New(core.DefaultConfig()), cfg)
+	if !reflect.DeepEqual(batched, perRecord) {
+		t.Errorf("batched and per-record runs diverge:\n  batched    %+v\n  per-record %+v", batched, perRecord)
+	}
+}
+
+// TestWarmupIncompleteFlag is the short-trace regression test: a source
+// that exhausts before WarmInsts must be reported, because the statistics
+// were never reset and the "measured" numbers include warmup.
+func TestWarmupIncompleteFlag(t *testing.T) {
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 1_000_000, 1_000_000
+
+	short := Run(trace.NewLimit(workload.New(b), 100_000), prefetch.None{}, cfg)
+	if !short.WarmupIncomplete {
+		t.Error("source exhausted before WarmInsts: WarmupIncomplete must be set")
+	}
+	if short.Core.Instructions == 0 {
+		t.Error("short run should still report the (warmup-polluted) statistics")
+	}
+
+	full := Run(trace.NewLimit(workload.New(b), 3_000_000), prefetch.None{}, cfg)
+	if full.WarmupIncomplete {
+		t.Error("warmup completed: WarmupIncomplete must be clear")
+	}
+
+	// With no warmup window there is nothing to miss, even on a tiny trace.
+	cfg.WarmInsts = 0
+	none := Run(trace.NewLimit(workload.New(b), 100_000), prefetch.None{}, cfg)
+	if none.WarmupIncomplete {
+		t.Error("WarmInsts=0: WarmupIncomplete must be clear")
+	}
+}
+
+// TestWarmupIncompleteCMP covers the multi-core variant: statistics reset
+// only once every lane warms, so a single short trace pollutes all lanes
+// and every per-core result must carry the flag.
+func TestWarmupIncompleteCMP(t *testing.T) {
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 1_000_000, 1_000_000
+
+	sources := []trace.Source{
+		trace.NewLimit(workload.New(b), 100_000), // exhausts during warmup
+		workload.New(b),                          // endless
+	}
+	res := RunCMP(sources, prefetch.None{}, cfg)
+	for i, pc := range res.PerCore {
+		if !pc.WarmupIncomplete {
+			t.Errorf("lane %d: WarmupIncomplete must be set when any lane's source is short", i)
+		}
+	}
+
+	ok := RunCMP([]trace.Source{workload.New(b), workload.New(b)}, prefetch.None{}, cfg)
+	for i, pc := range ok.PerCore {
+		if pc.WarmupIncomplete {
+			t.Errorf("lane %d: WarmupIncomplete must be clear when all lanes warm", i)
+		}
+	}
+}
+
+// TestSteadyStateAllocs asserts the tentpole's allocation contract: once
+// the simulator reaches steady state, stepping trace records allocates
+// (almost) nothing — the only sanctioned residue is the correlation
+// table's one-page-per-512-entries arena growth and its rare index
+// doublings as the table keeps learning new lines.
+func TestSteadyStateAllocs(t *testing.T) {
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 0, 1 // windows unused: we drive step directly
+
+	r := NewRunner(cfg, core.New(core.DefaultConfig()))
+	src := workload.New(b)
+	const batchSize = 256
+	batch := make([]trace.Record, batchSize)
+	drive := func() {
+		n := trace.FillBatch(src, batch)
+		for _, rec := range batch[:n] {
+			r.step(r.lane, rec)
+		}
+	}
+	// Warm the machine past its growth phase (~500k records): caches,
+	// queues, the prefetcher's table and the generator's buffers reach
+	// their working sizes.
+	for i := 0; i < 2000; i++ {
+		drive()
+	}
+	avg := testing.AllocsPerRun(100, drive)
+	if perRecord := avg / batchSize; perRecord > 0.01 {
+		t.Errorf("steady state allocates %.4f allocs/record (%.1f per %d-record batch), want ~0",
+			perRecord, avg, batchSize)
+	}
+}

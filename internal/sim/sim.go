@@ -86,6 +86,12 @@ type Result struct {
 	// Prefetch-buffer hits by kind (full + partial).
 	PBHitsIFetch uint64
 	PBHitsLoad   uint64
+
+	// WarmupIncomplete reports that the trace source was exhausted before
+	// WarmInsts instructions retired: statistics were never reset, so the
+	// "measured" numbers include the warmup window. Callers asking for a
+	// warmed run must treat such a result as invalid.
+	WarmupIncomplete bool
 }
 
 // CPI returns overall cycles per instruction.
@@ -142,6 +148,76 @@ func (r Result) EPIReduction(baseline Result) float64 {
 	return 1 - r.EPKI()/baseline.EPKI()
 }
 
+// missSet is the per-epoch duplicate-miss filter: a small open-addressed
+// set of lines, sized to the architectural bound on overlapped misses.
+// Clearing is O(1) — the mark is bumped and stale slots read as empty —
+// which matters because the filter resets at every epoch boundary.
+type missSet struct {
+	mask  uint64
+	lines []amo.Line
+	marks []uint64
+	mark  uint64
+	n     int
+}
+
+func newMissSet(bound int) missSet {
+	slots := 64
+	for slots < 4*bound {
+		slots *= 2
+	}
+	return missSet{
+		mask:  uint64(slots - 1),
+		lines: make([]amo.Line, slots),
+		marks: make([]uint64, slots),
+		mark:  1,
+	}
+}
+
+func missHash(l amo.Line) uint64 {
+	h := uint64(l) * 0x9e3779b97f4a7c15
+	return h ^ (h >> 29)
+}
+
+func (s *missSet) clear() { s.mark++; s.n = 0 }
+
+func (s *missSet) has(l amo.Line) bool {
+	for i := missHash(l) & s.mask; s.marks[i] == s.mark; i = (i + 1) & s.mask {
+		if s.lines[i] == l {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *missSet) add(l amo.Line) {
+	if 2*s.n >= len(s.lines) { // defensive: keep probes short if the bound is ever exceeded
+		s.grow()
+	}
+	i := missHash(l) & s.mask
+	for s.marks[i] == s.mark {
+		if s.lines[i] == l {
+			return
+		}
+		i = (i + 1) & s.mask
+	}
+	s.lines[i], s.marks[i] = l, s.mark
+	s.n++
+}
+
+func (s *missSet) grow() {
+	old := *s
+	slots := 2 * len(old.lines)
+	s.mask = uint64(slots - 1)
+	s.lines = make([]amo.Line, slots)
+	s.marks = make([]uint64, slots)
+	s.n = 0
+	for i, m := range old.marks {
+		if m == old.mark {
+			s.add(old.lines[i])
+		}
+	}
+}
+
 // lane is the per-hardware-thread half of the machine: a core model, its
 // private L1 caches and its miss bookkeeping. The L2, prefetch buffer,
 // memory system and prefetcher are shared across lanes.
@@ -152,7 +228,7 @@ type lane struct {
 	l1d  *cache.Cache
 
 	// Per-epoch duplicate-miss filter (MSHR merge behaviour).
-	outstanding map[amo.Line]struct{}
+	outstanding missSet
 	outEpoch    uint64
 
 	// Kind-resolved counters for the measurement window.
@@ -166,7 +242,7 @@ func newLane(id int, cfg Config) *lane {
 		core:        cpu.New(cfg.Core),
 		l1i:         cache.New(cfg.L1I),
 		l1d:         cache.New(cfg.L1D),
-		outstanding: make(map[amo.Line]struct{}, 64),
+		outstanding: newMissSet(cfg.Core.MaxOutstanding),
 	}
 }
 
@@ -188,6 +264,10 @@ type Runner struct {
 	pb   *cache.PrefetchBuffer
 	mem  *mem.System
 	ctx  *prefetch.Context
+
+	// batch is the reusable record buffer of the Run loop (one FillBatch
+	// call delivers a slice the inner loop iterates allocation-free).
+	batch []trace.Record
 }
 
 // NewRunner assembles a single-core system. It panics on invalid
@@ -200,13 +280,14 @@ func NewRunner(cfg Config, pf prefetch.Prefetcher) *Runner {
 	l2 := cache.New(cfg.L2)
 	pb := cache.NewPrefetchBuffer(cfg.PBEntries, cfg.PBWays)
 	return &Runner{
-		cfg:  cfg,
-		pf:   pf,
-		lane: newLane(0, cfg),
-		l2:   l2,
-		pb:   pb,
-		mem:  m,
-		ctx:  prefetch.NewContext(m, pb, l2),
+		cfg:   cfg,
+		pf:    pf,
+		lane:  newLane(0, cfg),
+		l2:    l2,
+		pb:    pb,
+		mem:   m,
+		ctx:   prefetch.NewContext(m, pb, l2),
+		batch: make([]trace.Record, 1024),
 	}
 }
 
@@ -217,7 +298,12 @@ func Run(src trace.Source, pf prefetch.Prefetcher, cfg Config) Result {
 	return r.Run(src)
 }
 
-// Run executes the runner's warmup and measurement windows.
+// Run executes the runner's warmup and measurement windows. Records are
+// read through the batched-Source path (trace.FillBatch) so the hot loop
+// iterates a slice instead of paying one interface call per record; the
+// delivered record sequence is identical to the per-record path. If the
+// source is exhausted before the warmup window completes, the returned
+// Result carries WarmupIncomplete (its statistics include warmup).
 func (r *Runner) Run(src trace.Source) Result {
 	warmEnd := r.cfg.WarmInsts
 	measureEnd := warmEnd + r.cfg.MeasureInsts
@@ -225,23 +311,28 @@ func (r *Runner) Run(src trace.Source) Result {
 	if warmed {
 		r.resetStats()
 	}
+loop:
 	for {
-		rec, ok := src.Next()
-		if !ok {
+		n := trace.FillBatch(src, r.batch)
+		if n == 0 {
 			break
 		}
-		r.step(r.lane, rec)
-		if !warmed && r.lane.core.Insts() >= warmEnd {
-			r.resetStats()
-			warmed = true
-			measureEnd = r.lane.core.Insts() + r.cfg.MeasureInsts
-		}
-		if warmed && r.lane.core.Insts() >= measureEnd {
-			break
+		for _, rec := range r.batch[:n] {
+			r.step(r.lane, rec)
+			if !warmed && r.lane.core.Insts() >= warmEnd {
+				r.resetStats()
+				warmed = true
+				measureEnd = r.lane.core.Insts() + r.cfg.MeasureInsts
+			}
+			if warmed && r.lane.core.Insts() >= measureEnd {
+				break loop
+			}
 		}
 	}
 	r.lane.core.CloseEpoch()
-	return r.result()
+	res := r.result()
+	res.WarmupIncomplete = !warmed
+	return res
 }
 
 func (r *Runner) resetStats() {
@@ -281,11 +372,9 @@ func (r *Runner) step(l *lane, rec trace.Record) {
 	l.core.Advance(uint64(rec.Gap) + 1)
 
 	// Clear the duplicate-miss filter when the epoch it belonged to is
-	// gone.
+	// gone (an O(1) mark bump).
 	if !l.core.InEpoch() || l.core.EpochID() != l.outEpoch {
-		if len(l.outstanding) != 0 {
-			clear(l.outstanding)
-		}
+		l.outstanding.clear()
 		l.outEpoch = l.core.EpochID()
 	}
 
@@ -446,13 +535,12 @@ func (l *lane) outstandingMiss(line amo.Line) bool {
 	if !l.core.InEpoch() {
 		return false
 	}
-	_, ok := l.outstanding[line]
-	return ok
+	return l.outstanding.has(line)
 }
 
 func (l *lane) noteOutstanding(line amo.Line) {
 	if l.core.InEpoch() {
-		l.outstanding[line] = struct{}{}
+		l.outstanding.add(line)
 		l.outEpoch = l.core.EpochID()
 	}
 }

@@ -16,6 +16,19 @@
 // (pointer chasing — such a miss cannot overlap with the miss it depends
 // on) and whether the instruction is serializing (a window termination
 // condition).
+//
+// # The batched-Source contract
+//
+// Source delivers one Record per Next call; hot consumers should instead
+// read through FillBatch, which uses the bulk ReadBatch path when the
+// source implements BatchSource. ReadBatch must deliver exactly the
+// record sequence repeated Next calls would (so batching is purely a
+// throughput optimization, never a semantic one), must return 0 only at
+// end of stream, and need not fill dst completely on intermediate calls.
+// Slice, Limit and workload.Generator batch natively; Batcher adapts any
+// other Source. The one sanctioned deviation: a wrapper that truncates a
+// stream (Limit) may leave its *underlying* source a few records past the
+// cut once the limit trips — the delivered sequence is still exact.
 package trace
 
 import (
@@ -90,6 +103,82 @@ type Source interface {
 	Next() (Record, bool)
 }
 
+// BatchSource is the bulk path of the batched-Source contract: ReadBatch
+// fills dst with the next records of the stream and returns how many were
+// written. It returns 0 only at end of stream (given len(dst) > 0), and
+// delivers exactly the record sequence repeated Next calls would — hot
+// loops read whole slices instead of paying one interface call per
+// record. Mixing Next and ReadBatch on one source is allowed; both
+// consume from the same position. Use FillBatch to read from any Source
+// through this path when available.
+type BatchSource interface {
+	Source
+	ReadBatch(dst []Record) int
+}
+
+// FillBatch fills dst from src, using the bulk path when src implements
+// BatchSource and falling back to per-record Next calls otherwise. It
+// returns the number of records written; 0 means end of stream.
+func FillBatch(src Source, dst []Record) int {
+	if bs, ok := src.(BatchSource); ok {
+		return bs.ReadBatch(dst)
+	}
+	n := 0
+	for n < len(dst) {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		dst[n] = r
+		n++
+	}
+	return n
+}
+
+// Batcher adapts any Source into one whose Next amortizes the underlying
+// interface dispatch over an internal batch buffer. It is useful where a
+// consumer must interleave records from several sources one at a time
+// (e.g. the CMP scheduler) and so cannot batch at the loop level itself.
+type Batcher struct {
+	src Source
+	buf []Record
+	pos int
+	n   int
+}
+
+// NewBatcher wraps src with an internal buffer of the given size.
+func NewBatcher(src Source, size int) *Batcher {
+	if size <= 0 {
+		size = 256
+	}
+	return &Batcher{src: src, buf: make([]Record, size)}
+}
+
+// Next implements Source.
+func (b *Batcher) Next() (Record, bool) {
+	if b.pos >= b.n {
+		b.n = FillBatch(b.src, b.buf)
+		b.pos = 0
+		if b.n == 0 {
+			return Record{}, false
+		}
+	}
+	r := b.buf[b.pos]
+	b.pos++
+	return r, true
+}
+
+// ReadBatch implements BatchSource: buffered records drain first, then
+// the underlying source fills the remainder directly.
+func (b *Batcher) ReadBatch(dst []Record) int {
+	n := copy(dst, b.buf[b.pos:b.n])
+	b.pos += n
+	if n < len(dst) {
+		n += FillBatch(b.src, dst[n:])
+	}
+	return n
+}
+
 // Slice is an in-memory trace that can be replayed multiple times.
 type Slice struct {
 	recs []Record
@@ -107,6 +196,14 @@ func (s *Slice) Next() (Record, bool) {
 	r := s.recs[s.pos]
 	s.pos++
 	return r, true
+}
+
+// ReadBatch implements BatchSource by copying directly out of the
+// in-memory record slice.
+func (s *Slice) ReadBatch(dst []Record) int {
+	n := copy(dst, s.recs[s.pos:])
+	s.pos += n
+	return n
 }
 
 // Reset rewinds the trace to its beginning.
@@ -143,6 +240,30 @@ func (l *Limit) Next() (Record, bool) {
 	}
 	l.insts += uint64(r.Gap) + 1
 	return r, true
+}
+
+// ReadBatch implements BatchSource. It delivers exactly the records the
+// equivalent Next loop would (a record is delivered iff fewer than max
+// instructions were consumed before it). To batch the read it may pull a
+// few records past the limit from the underlying source; after the limit
+// trips, the underlying source's position is therefore unspecified.
+func (l *Limit) ReadBatch(dst []Record) int {
+	if l.insts >= l.max {
+		return 0
+	}
+	// Every record carries ≥1 instruction, so at most `remaining` more
+	// records can be delivered; capping the chunk bounds the over-read.
+	if remaining := l.max - l.insts; uint64(len(dst)) > remaining {
+		dst = dst[:remaining]
+	}
+	n := FillBatch(l.src, dst)
+	for i := 0; i < n; i++ {
+		if l.insts >= l.max {
+			return i // dst[i:n] was over-read and is not delivered
+		}
+		l.insts += uint64(dst[i].Gap) + 1
+	}
+	return n
 }
 
 // Instructions returns how many instructions the limit has delivered so far.

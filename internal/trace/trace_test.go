@@ -281,3 +281,108 @@ func TestReaderAfterErrorStaysFailed(t *testing.T) {
 		t.Error("first error not sticky")
 	}
 }
+
+// drainNext collects src's full stream via per-record Next calls.
+func drainNext(src Source) []Record {
+	var out []Record
+	for {
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// drainBatch collects src's full stream via FillBatch with the given
+// batch size.
+func drainBatch(src Source, size int) []Record {
+	var out []Record
+	buf := make([]Record, size)
+	for {
+		n := FillBatch(src, buf)
+		if n == 0 {
+			return out
+		}
+		out = append(out, buf[:n]...)
+	}
+}
+
+func sameRecords(t *testing.T, label string, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: record %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchMatchesNext locks the batched-Source contract for every
+// native BatchSource and for the Batcher/FillBatch adapters: the bulk
+// path must deliver exactly the record sequence repeated Next calls
+// would, for any batch size.
+func TestBatchMatchesNext(t *testing.T) {
+	recs := randomRecords(997, 3)
+	for _, size := range []int{1, 2, 7, 64, 997, 2048} {
+		// Slice.
+		want := drainNext(NewSlice(recs))
+		sameRecords(t, "slice", drainBatch(NewSlice(recs), size), want)
+
+		// Limit at various cut points, including mid-batch trips.
+		for _, max := range []uint64{1, 50, 999, 5_000, 1 << 30} {
+			want := drainNext(NewLimit(NewSlice(recs), max))
+			got := drainBatch(NewLimit(NewSlice(recs), max), size)
+			sameRecords(t, "limit", got, want)
+			// A Limit over a Next-only source exercises the fallback fill.
+			got = drainBatch(NewLimit(nextOnly{NewSlice(recs)}, max), size)
+			sameRecords(t, "limit/fallback", got, want)
+		}
+
+		// Batcher over a Next-only source, drained both ways.
+		want = drainNext(NewSlice(recs))
+		sameRecords(t, "batcher/next", drainNext(NewBatcher(nextOnly{NewSlice(recs)}, size)), want)
+		sameRecords(t, "batcher/batch", drainBatch(NewBatcher(nextOnly{NewSlice(recs)}, 13), size), want)
+	}
+}
+
+// nextOnly hides ReadBatch so FillBatch must take its fallback path.
+type nextOnly struct{ s Source }
+
+func (n nextOnly) Next() (Record, bool) { return n.s.Next() }
+
+// TestBatchMixedWithNext checks that Next and ReadBatch consume from the
+// same stream position when interleaved.
+func TestBatchMixedWithNext(t *testing.T) {
+	recs := randomRecords(100, 5)
+	s := NewSlice(recs)
+	buf := make([]Record, 7)
+
+	r, ok := s.Next()
+	if !ok || r != recs[0] {
+		t.Fatalf("Next = %+v, %v", r, ok)
+	}
+	if n := s.ReadBatch(buf); n != 7 {
+		t.Fatalf("ReadBatch = %d, want 7", n)
+	}
+	sameRecords(t, "mixed", buf[:7], recs[1:8])
+	r, ok = s.Next()
+	if !ok || r != recs[8] {
+		t.Fatalf("Next after batch = %+v, want %+v", r, recs[8])
+	}
+}
+
+// TestLimitBatchInstructionCount checks the limit's instruction ledger is
+// identical under batched delivery.
+func TestLimitBatchInstructionCount(t *testing.T) {
+	recs := randomRecords(500, 9)
+	a := NewLimit(NewSlice(recs), 4000)
+	b := NewLimit(NewSlice(recs), 4000)
+	drainNext(a)
+	drainBatch(b, 64)
+	if a.Instructions() != b.Instructions() {
+		t.Errorf("Instructions: next %d, batch %d", a.Instructions(), b.Instructions())
+	}
+}

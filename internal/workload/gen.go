@@ -18,19 +18,32 @@ const (
 
 // step is one data step of a chain: a head line (optionally dependent on
 // the previous step's head — pointer chasing) plus sibling lines that
-// overlap with it. Each step has Variants alternative line groups; a
+// overlap with it. Each step has nv alternative line groups (variants); a
 // visit takes one, rolled per motif run (so a region walk stays inside
 // one region). run identifies the motif run the step belongs to, so
 // emission knows when to re-roll the variant.
+//
+// The variant line groups live in the generator's shared line arena
+// (g.lineArena), addressed through spans (g.varSpans): a step holds the
+// index of its first span and its variant count. This flat layout keeps
+// a chain library of hundreds of thousands of steps to a handful of
+// amortized-growth allocations instead of two small slices per step.
 type step struct {
-	variants [][]amo.Line // each head first
-	dep      bool
-	run      int
+	varOff uint32 // index of the step's first variant span in g.varSpans
+	nv     uint16 // number of variants (each span starts with the head)
+	dep    bool
+	run    int32
 	// pcIdx selects the load PC (and thereby the record layout) of the
 	// step within the transaction type's PC pool: the code site
 	// determines the record layout, which is what PC-indexed prefetchers
 	// (SMS, GHB PC/DC) key on.
-	pcIdx int
+	pcIdx uint16
+}
+
+// lineSpan is one variant's line group inside the generator's line arena.
+type lineSpan struct {
+	off uint32
+	n   uint16
 }
 
 // pcPool is the number of distinct load sites per transaction type.
@@ -63,9 +76,17 @@ type Generator struct {
 	typePick *skewPicker
 	layouts  [][]int // sibling line-offset deltas within a region
 
-	// Emission queue.
-	queue []trace.Record
-	qpos  int
+	// Flat step storage: every variant's line group is a span of
+	// lineArena; steps reference contiguous runs of varSpans.
+	lineArena []amo.Line
+	varSpans  []lineSpan
+
+	// Emission queue and steady-state scratch buffers (reused so the
+	// endless stream allocates nothing after the first few steps).
+	queue    []trace.Record
+	qpos     int
+	noiseBuf []amo.Line
+	coldBuf  []amo.Line
 
 	// Transaction state.
 	t          *txnType
@@ -89,7 +110,7 @@ type Generator struct {
 	hotPos        int
 }
 
-var _ trace.Source = (*Generator)(nil)
+var _ trace.BatchSource = (*Generator)(nil)
 
 // New builds a generator. It panics on invalid parameters (benchmark
 // parameter sets are code).
@@ -101,6 +122,12 @@ func New(p Params) *Generator {
 		p:       p,
 		rng:     rand.New(rand.NewSource(p.Seed)),
 		hotRing: make([]amo.Line, 2048),
+		// Pre-size the step arena near its final size (~50-110 lines and
+		// ~40-50 spans per chain across the shipped benchmarks) so chain
+		// construction doesn't repeatedly double-and-copy it.
+		lineArena: make([]amo.Line, 0, 128*p.Chains),
+		varSpans:  make([]lineSpan, 0, 64*p.Chains),
+		queue:     make([]trace.Record, 0, 64),
 	}
 	g.buildLayouts()
 	g.buildChains()
@@ -174,36 +201,49 @@ func (g *Generator) buildChains() {
 	}
 }
 
-// siblingsFor returns layout-determined sibling lines in head's 2KB
-// region, choosing count offsets starting from the layout position sel
-// (different sel values model different field/subobject access paths
-// through the same record — the spatial correlation SMS exploits, and the
-// data-dependent divergence that bounds prefetcher accuracy). The layout
-// is selected by the accessing code site (pcIdx), which is what makes
-// trigger-PC-indexed pattern prediction possible.
-func (g *Generator) siblingsFor(head amo.Line, pcIdx, sel, count int) []amo.Line {
-	lines := make([]amo.Line, 1, count+1)
-	lines[0] = head
+// siblingsSpan appends head plus layout-determined sibling lines in
+// head's 2KB region to the line arena and returns their span, choosing
+// count offsets starting from the layout position sel (different sel
+// values model different field/subobject access paths through the same
+// record — the spatial correlation SMS exploits, and the data-dependent
+// divergence that bounds prefetcher accuracy). The layout is selected by
+// the accessing code site (pcIdx), which is what makes trigger-PC-indexed
+// pattern prediction possible.
+func (g *Generator) siblingsSpan(head amo.Line, pcIdx, sel, count int) lineSpan {
+	off := len(g.lineArena)
+	g.lineArena = append(g.lineArena, head)
 	layout := g.layouts[pcIdx%len(g.layouts)]
 	regionFirst := head - amo.Line(uint64(head)%linesPerRegion)
 	headOff := int(uint64(head) % linesPerRegion)
-	for j := 0; len(lines) < count+1 && j < len(layout); j++ {
-		off := (headOff + layout[(sel+j)%len(layout)]) % linesPerRegion
-		sib := regionFirst + amo.Line(off)
+	for j := 0; len(g.lineArena)-off < count+1 && j < len(layout); j++ {
+		o := (headOff + layout[(sel+j)%len(layout)]) % linesPerRegion
+		sib := regionFirst + amo.Line(o)
 		if sib != head {
 			dup := false
-			for _, l := range lines {
+			for _, l := range g.lineArena[off:] {
 				if l == sib {
 					dup = true
 					break
 				}
 			}
 			if !dup {
-				lines = append(lines, sib)
+				g.lineArena = append(g.lineArena, sib)
 			}
 		}
 	}
-	return lines
+	return lineSpan{off: uint32(off), n: uint16(len(g.lineArena) - off)}
+}
+
+// singleSpan appends one line to the arena as a one-line variant span.
+func (g *Generator) singleSpan(line amo.Line) lineSpan {
+	off := len(g.lineArena)
+	g.lineArena = append(g.lineArena, line)
+	return lineSpan{off: uint32(off), n: 1}
+}
+
+// spanLines resolves a variant span to its lines in the arena.
+func (g *Generator) spanLines(sp lineSpan) []amo.Line {
+	return g.lineArena[sp.off : uint32(sp.off)+uint32(sp.n)]
 }
 
 // scatteredStep is a pointer-chased record fetch. The head line (the
@@ -225,11 +265,11 @@ func (g *Generator) scatteredStep(dep bool, run int) step {
 		head -= amo.Line(uint64(head) % 128)
 	}
 	pcIdx := g.rng.Intn(pcPool)
-	variants := make([][]amo.Line, nv)
-	for v := range variants {
-		variants[v] = g.siblingsFor(head, pcIdx, v*2, size-1)
+	varOff := uint32(len(g.varSpans))
+	for v := 0; v < nv; v++ {
+		g.varSpans = append(g.varSpans, g.siblingsSpan(head, pcIdx, v*2, size-1))
 	}
-	return step{variants: variants, dep: dep, run: run, pcIdx: pcIdx}
+	return step{varOff: varOff, nv: uint16(nv), dep: dep, run: int32(run), pcIdx: uint16(pcIdx)}
 }
 
 // appendWalk adds a run of steps inside one 2KB region (an index-leaf
@@ -253,11 +293,14 @@ func (g *Generator) appendWalk(steps []step, limit, run int) []step {
 	stride := 1 + pcIdx%3
 	for i := 0; i < k; i++ {
 		line := regionFirst + amo.Line((off+i*stride)%linesPerRegion)
+		varOff := uint32(len(g.varSpans))
+		g.varSpans = append(g.varSpans, g.singleSpan(line))
 		steps = append(steps, step{
-			variants: [][]amo.Line{{line}},
-			dep:      len(steps) > 0 || i > 0,
-			run:      run,
-			pcIdx:    pcIdx,
+			varOff: varOff,
+			nv:     1,
+			dep:    len(steps) > 0 || i > 0,
+			run:    int32(run),
+			pcIdx:  uint16(pcIdx),
 		})
 	}
 	return steps
@@ -277,11 +320,14 @@ func (g *Generator) appendStride(steps []step, limit, run int) []step {
 	for i := 0; i < k; i++ {
 		// The first access of the run is pointer-derived; the rest are
 		// address arithmetic and overlap freely.
+		varOff := uint32(len(g.varSpans))
+		g.varSpans = append(g.varSpans, g.singleSpan(base.Add(stride*int64(i))))
 		steps = append(steps, step{
-			variants: [][]amo.Line{{base.Add(stride * int64(i))}},
-			dep:      i == 0 && len(steps) > 0,
-			run:      run,
-			pcIdx:    pcIdx,
+			varOff: varOff,
+			nv:     1,
+			dep:    i == 0 && len(steps) > 0,
+			run:    int32(run),
+			pcIdx:  uint16(pcIdx),
 		})
 	}
 	return steps
@@ -342,6 +388,24 @@ func (g *Generator) Next() (trace.Record, bool) {
 	return r, true
 }
 
+// ReadBatch implements trace.BatchSource, filling dst directly from the
+// emission queue and running the step state machine whenever the queue
+// drains. The stream is endless, so dst is always filled completely.
+func (g *Generator) ReadBatch(dst []trace.Record) int {
+	n := 0
+	for n < len(dst) {
+		if g.qpos >= len(g.queue) {
+			g.queue = g.queue[:0]
+			g.qpos = 0
+			g.synthStep()
+		}
+		c := copy(dst[n:], g.queue[g.qpos:])
+		g.qpos += c
+		n += c
+	}
+	return n
+}
+
 func (g *Generator) push(r trace.Record) {
 	r.Gap += uint32(g.pendingGap)
 	g.pendingGap = 0
@@ -375,26 +439,25 @@ func (g *Generator) synthStep() {
 	// branch picks which alternative group the visit dereferences, and
 	// with NoiseFrac probability the run touches fresh never-recurring
 	// lines instead (churn, cold data).
-	if g.chain != g.runChain || st.run != g.runID {
-		g.runChain, g.runID = g.chain, st.run
-		g.runVariant = g.rng.Intn(len(st.variants))
+	if g.chain != g.runChain || int(st.run) != g.runID {
+		g.runChain, g.runID = g.chain, int(st.run)
+		g.runVariant = g.rng.Intn(int(st.nv))
 		g.runNoise = g.rng.Float64() < p.NoiseFrac
 	}
-	lines := st.variants[g.runVariant%len(st.variants)]
+	lines := g.spanLines(g.varSpans[st.varOff+uint32(g.runVariant%int(st.nv))])
 	if g.runNoise {
-		fresh := make([]amo.Line, len(lines))
-		for i := range fresh {
-			fresh[i] = g.randDataLine()
+		g.noiseBuf = g.noiseBuf[:0]
+		for range lines {
+			g.noiseBuf = append(g.noiseBuf, g.randDataLine())
 		}
-		lines = fresh
+		lines = g.noiseBuf
 	}
 	if g.rng.Float64() < p.ColdExtra {
 		// A freshly allocated line joins the step's group: it overlaps
 		// with the head but never recurs.
-		cold := make([]amo.Line, 0, len(lines)+1)
-		cold = append(cold, lines...)
-		cold = append(cold, g.randDataLine())
-		lines = cold
+		g.coldBuf = append(g.coldBuf[:0], lines...)
+		g.coldBuf = append(g.coldBuf, g.randDataLine())
+		lines = g.coldBuf
 	}
 	stepInsts := g.between(p.InstsPerStep)
 	nb := g.between(p.BlocksPerStep)

@@ -73,6 +73,36 @@ func TestGeneratorDeterminism(t *testing.T) {
 	}
 }
 
+// TestGeneratorBatchMatchesNext locks the generator's native ReadBatch to
+// the batched-Source contract: the bulk path delivers exactly the record
+// stream Next delivers, across uneven batch sizes that straddle the
+// emission queue's step boundaries.
+func TestGeneratorBatchMatchesNext(t *testing.T) {
+	gn, gb := New(Database()), New(Database())
+	sizes := []int{1, 3, 7, 64, claimBatch}
+	buf := make([]trace.Record, claimBatch)
+	i := 0
+	for round := 0; round < 5000; round++ {
+		size := sizes[round%len(sizes)]
+		n := gb.ReadBatch(buf[:size])
+		if n != size {
+			t.Fatalf("ReadBatch(%d) = %d on an endless stream", size, n)
+		}
+		for _, rb := range buf[:n] {
+			rn, ok := gn.Next()
+			if !ok {
+				t.Fatal("Next exhausted on an endless stream")
+			}
+			if rn != rb {
+				t.Fatalf("record %d differs: next %+v vs batch %+v", i, rn, rb)
+			}
+			i++
+		}
+	}
+}
+
+const claimBatch = 1024
+
 func TestGeneratorSeedsDiffer(t *testing.T) {
 	p := Database()
 	p2 := p
