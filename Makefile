@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet race race-short fuzz bench-parallel bench-json
+.PHONY: tier1 vet lint-nopanic race race-short fuzz bench-parallel bench-json
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -12,15 +12,27 @@ tier1:
 vet:
 	go vet ./...
 
-# Full suite under the race detector (plus vet). Slow — roughly ten
-# minutes on one core; the determinism, single-flight and cancellation
-# tests in internal/exp/parallel_test.go are the interesting part.
-race: vet
+# The library error-handling contract (DESIGN.md "Error handling
+# contract"): non-test library code must return typed errors, never
+# panic. Fails listing the offending lines if a new panic( sneaks in.
+lint-nopanic:
+	@bad=$$(grep -rn "panic(" internal --include='*.go' | grep -v _test.go); \
+	if [ -n "$$bad" ]; then \
+		echo "lint-nopanic: panic() in non-test library code:"; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
+# Full suite under the race detector (plus vet and the no-panic lint).
+# Slow — roughly ten minutes on one core; the determinism, single-flight
+# and cancellation tests in internal/exp/parallel_test.go are the
+# interesting part.
+race: vet lint-nopanic
 	go test -race ./...
 
 # The quick pre-push variant: skips the three slowest experiment shape
 # tests (Fig8, CMP, ablations) but keeps every concurrency test.
-race-short: vet
+race-short: vet lint-nopanic
 	go test -race -short ./...
 
 # Fuzz the condensed-trace codec for a short while (seed corpus lives in

@@ -156,7 +156,7 @@ func BenchmarkSimThroughput(b *testing.B) {
 	b.ResetTimer()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
-		res := Run(NewTrace(bench), NewEBCP(TunedEBCP()), cfg)
+		res := must(Run(must(NewTrace(bench)), must(NewEBCP(TunedEBCP())), cfg))
 		insts += res.Core.Instructions
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minsts/s")

@@ -31,6 +31,7 @@ func main() {
 		which      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		scale      = flag.Float64("scale", 1.0, "scale the warm/measure windows (1.0 = paper's 150M+100M)")
+		maxInsts   = flag.Float64("max-insts", 0, "truncate every cell's trace after this many instructions (0 = unlimited)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		format     = flag.String("format", "text", "output format: text | csv | markdown")
 		outFile    = flag.String("o", "", "write reports to a file instead of stdout")
@@ -55,8 +56,16 @@ func main() {
 		return
 	}
 	if *scale <= 0 || *scale > 1 {
-		fmt.Fprintln(os.Stderr, "ebcpexp: -scale must be in (0, 1]")
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "ebcpexp: -scale must be in (0, 1] (got %g)\n", *scale)
+		os.Exit(1)
+	}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "ebcpexp: -workers must be non-negative (got %d)\n", *workers)
+		os.Exit(1)
+	}
+	if *maxInsts < 0 {
+		fmt.Fprintf(os.Stderr, "ebcpexp: -max-insts must be non-negative (got %g)\n", *maxInsts)
+		os.Exit(1)
 	}
 
 	ctx := context.Background()
@@ -67,9 +76,10 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Warm:    uint64(150e6 * *scale),
-		Measure: uint64(100e6 * *scale),
-		Workers: *workers,
+		Warm:     uint64(150e6 * *scale),
+		Measure:  uint64(100e6 * *scale),
+		MaxInsts: uint64(*maxInsts),
+		Workers:  *workers,
 	}
 	if *verbose {
 		opts.Progress = exp.ProgressWriter(os.Stderr)
@@ -82,8 +92,8 @@ func main() {
 		for _, id := range strings.Split(*which, ",") {
 			e, err := exp.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
+				os.Exit(1)
 			}
 			todo = append(todo, e)
 		}
@@ -101,11 +111,13 @@ func main() {
 	}
 
 	session := exp.NewSessionContext(ctx, opts)
+	naCells := 0
 	for _, e := range todo {
 		start := time.Now()
 		rep := e.Run(session)
+		naCells += rep.NACells()
 		if err := rep.RenderFormat(out, *format); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+			fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
 			os.Exit(1)
 		}
 		if *format == "text" || *format == "" {
@@ -114,8 +126,18 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "total simulations executed: %d (memo hits: %d)\n",
 		session.Runs(), session.CacheHits())
+	// Failed or cancelled cells render as "n/a", never as plausible
+	// numbers; account for them on stderr and refuse a clean exit.
+	if fails := session.Failures(); fails > 0 || naCells > 0 {
+		fmt.Fprintf(os.Stderr, "ebcpexp: %d simulation(s) failed or were cancelled; %d report cell(s) rendered as n/a\n",
+			fails, naCells)
+	}
 	if err := session.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "ebcpexp: %v — reports above are partial (unsimulated cells are zero)\n", err)
+		fmt.Fprintf(os.Stderr, "ebcpexp: %v — reports above are partial (unsimulated cells render as n/a)\n", err)
+		stopProfiles()
+		os.Exit(1)
+	}
+	if session.Failures() > 0 || naCells > 0 {
 		stopProfiles()
 		os.Exit(1)
 	}

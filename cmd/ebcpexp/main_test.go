@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the CLI: when the marker
+// env var is set, run main() with its args instead of the test suite.
+func TestMain(m *testing.M) {
+	if spec, ok := os.LookupEnv("EBCPEXP_ARGS"); ok {
+		os.Args = append([]string{"ebcpexp"}, strings.Split(spec, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes this test binary as ebcpexp with the given flags.
+func runCLI(t *testing.T, args ...string) (output string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "EBCPEXP_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), 0
+}
+
+func TestBadFlagsExitOne(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"scale too large", []string{"-scale", "2"}, "-scale must be in (0, 1]"},
+		{"scale zero", []string{"-scale", "0"}, "-scale must be in (0, 1]"},
+		{"workers negative", []string{"-workers", "-3"}, "-workers must be non-negative"},
+		{"max insts negative", []string{"-max-insts", "-1"}, "-max-insts must be non-negative"},
+		{"unknown experiment", []string{"-exp", "nope"}, "unknown experiment"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, code := runCLI(t, c.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (output: %s)", code, out)
+			}
+			if !strings.Contains(out, c.want) {
+				t.Errorf("diagnostic %q does not mention %q", out, c.want)
+			}
+		})
+	}
+}
+
+// TestShortTraceRendersNAAndExitsNonZero is the report-level regression
+// test: truncated traces must never produce a clean-looking report.
+func TestShortTraceRendersNAAndExitsNonZero(t *testing.T) {
+	out, code := runCLI(t,
+		"-exp", "table1", "-scale", "0.001", "-max-insts", "10000")
+	if code == 0 {
+		t.Errorf("short-trace report exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Errorf("failed cells not rendered as n/a:\n%s", out)
+	}
+	if !strings.Contains(out, "rendered as n/a") {
+		t.Errorf("stderr accounting missing:\n%s", out)
+	}
+	if strings.Contains(out, "0.00") {
+		// No contaminated zeros should masquerade as measured values in
+		// the measured rows (paper reference rows are unaffected).
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "0.00") && !strings.Contains(line, "(paper)") {
+				t.Errorf("suspicious zero-valued measured row: %q", line)
+			}
+		}
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	out, code := runCLI(t, "-list")
+	if code != 0 {
+		t.Errorf("-list exit code = %d", code)
+	}
+	if !strings.Contains(out, "table1") {
+		t.Errorf("-list output missing experiments:\n%s", out)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,40 @@ import (
 	"ebcp"
 )
 
+// die prints a one-line diagnostic and exits non-zero. Every failure —
+// bad flags, invalid configurations, short traces — leaves through here
+// with exit code 1; only flag-package parse errors keep their
+// conventional exit code 2.
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ebcpsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// validateFlags rejects flag values the simulator's constructors would
+// refuse, so the process fails here with one diagnostic instead of three
+// packages deep.
+func validateFlags(degree, tableEntries, pbEntries int, warm, measure, maxInsts, readGBps, writeGBps float64) error {
+	switch {
+	case degree <= 0:
+		return fmt.Errorf("-degree must be positive (got %d)", degree)
+	case tableEntries <= 0:
+		return fmt.Errorf("-table-entries must be positive (got %d)", tableEntries)
+	case pbEntries <= 0:
+		return fmt.Errorf("-pb must be positive (got %d)", pbEntries)
+	case warm < 0:
+		return fmt.Errorf("-warm must be non-negative (got %g)", warm)
+	case measure <= 0:
+		return fmt.Errorf("-measure must be positive (got %g)", measure)
+	case maxInsts < 0:
+		return fmt.Errorf("-max-insts must be non-negative (got %g)", maxInsts)
+	case readGBps <= 0:
+		return fmt.Errorf("-read-gbps must be positive (got %g)", readGBps)
+	case writeGBps <= 0:
+		return fmt.Errorf("-write-gbps must be positive (got %g)", writeGBps)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		workloadName = flag.String("workload", "Database", "benchmark: Database | TPC-W | SPECjbb2005 | SPECjAppServer2004")
@@ -30,6 +65,7 @@ func main() {
 		pbEntries    = flag.Int("pb", 64, "prefetch buffer entries")
 		warm         = flag.Float64("warm", 150e6, "warmup instructions")
 		measure      = flag.Float64("measure", 100e6, "measured instructions")
+		maxInsts     = flag.Float64("max-insts", 0, "truncate the generated trace after this many instructions (0 = unlimited)")
 		readGBps     = flag.Float64("read-gbps", 9.6, "memory read bandwidth")
 		writeGBps    = flag.Float64("write-gbps", 4.8, "memory write bandwidth")
 		noBase       = flag.Bool("nobase", false, "skip the baseline run")
@@ -53,10 +89,13 @@ func main() {
 		})
 	}
 
+	if err := validateFlags(*degree, *tableEntries, *pbEntries, *warm, *measure, *maxInsts, *readGBps, *writeGBps); err != nil {
+		die("%v", err)
+	}
+
 	bench, err := ebcp.BenchmarkByName(*workloadName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		die("%v", err)
 	}
 	cfg := ebcp.DefaultSystem(bench)
 	cfg.WarmInsts = uint64(*warm)
@@ -67,19 +106,44 @@ func main() {
 
 	pf, err := buildPrefetcher(*pfName, *degree, *tableEntries)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		die("%v", err)
 	}
 
 	// The baseline is independent of the measured run; overlap the two
 	// simulations. Output stays in the same (deterministic) order.
+	type runOut struct {
+		res ebcp.Result
+		err error
+	}
 	wantBase := !*noBase && pf.Name() != "none"
-	baseCh := make(chan ebcp.Result, 1)
+	baseCh := make(chan runOut, 1)
+	newSource := func() (ebcp.TraceSource, error) {
+		src, err := ebcp.NewTrace(bench)
+		if err == nil && *maxInsts > 0 {
+			src = ebcp.LimitTrace(src, uint64(*maxInsts))
+		}
+		return src, err
+	}
 	if wantBase {
-		go func() { baseCh <- ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg) }()
+		go func() {
+			src, err := newSource()
+			if err != nil {
+				baseCh <- runOut{err: err}
+				return
+			}
+			r, err := ebcp.Run(src, ebcp.Baseline(), cfg)
+			baseCh <- runOut{res: r, err: err}
+		}()
 	}
 
-	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+	src, err := newSource()
+	if err != nil {
+		die("%v", err)
+	}
+	res, runErr := ebcp.Run(src, pf, cfg)
+	if runErr != nil && !errors.Is(runErr, ebcp.ErrShortTrace) {
+		die("%v", runErr)
+	}
 	printResult(bench.Name, res)
 	if e, ok := pf.(*ebcp.EBCP); ok {
 		printEBCP(e)
@@ -87,9 +151,22 @@ func main() {
 
 	if wantBase {
 		base := <-baseCh
-		fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.CPI(), base.EPKI())
-		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base))
-		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base))
+		if base.err != nil && !errors.Is(base.err, ebcp.ErrShortTrace) {
+			die("baseline: %v", base.err)
+		}
+		fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.res.CPI(), base.res.EPKI())
+		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base.res))
+		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base.res))
+		if runErr == nil {
+			runErr = base.err
+		}
+	}
+
+	// A short trace still prints its (warmup-contaminated) statistics
+	// above, but the run must not look clean: warn and exit non-zero.
+	if runErr != nil {
+		stopProfiles()
+		die("warning: %v", runErr)
 	}
 }
 
@@ -142,25 +219,25 @@ func buildPrefetcher(name string, degree, tableEntries int) (ebcp.Prefetcher, er
 	case "none", "baseline":
 		return ebcp.Baseline(), nil
 	case "ebcp":
-		return ebcp.NewEBCP(ecfg), nil
+		return ebcp.NewEBCP(ecfg)
 	case "ebcp-minus":
-		return ebcp.NewEBCPMinus(ecfg), nil
+		return ebcp.NewEBCPMinus(ecfg)
 	case "ghb-small":
-		return ebcp.NewGHBSmall(degree), nil
+		return ebcp.NewGHBSmall(degree)
 	case "ghb-large":
-		return ebcp.NewGHBLarge(degree), nil
+		return ebcp.NewGHBLarge(degree)
 	case "tcp-small":
-		return ebcp.NewTCPSmall(degree), nil
+		return ebcp.NewTCPSmall(degree)
 	case "tcp-large":
-		return ebcp.NewTCPLarge(degree), nil
+		return ebcp.NewTCPLarge(degree)
 	case "stream":
-		return ebcp.NewStream(degree), nil
+		return ebcp.NewStream(degree)
 	case "sms":
 		return ebcp.NewSMS(), nil
 	case "solihin-3,2", "solihin32":
-		return ebcp.NewSolihin(3, 2), nil
+		return ebcp.NewSolihin(3, 2)
 	case "solihin-6,1", "solihin61":
-		return ebcp.NewSolihin(6, 1), nil
+		return ebcp.NewSolihin(6, 1)
 	}
 	return nil, fmt.Errorf("unknown prefetcher %q", name)
 }

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain lets the test binary impersonate the CLI: when the marker
+// env var is set, run main() with its args instead of the test suite.
+func TestMain(m *testing.M) {
+	if spec, ok := os.LookupEnv("EBCPSIM_ARGS"); ok {
+		os.Args = append([]string{"ebcpsim"}, strings.Split(spec, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-executes this test binary as ebcpsim with the given flags.
+func runCLI(t *testing.T, args ...string) (output string, exitCode int) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "EBCPSIM_ARGS="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); ok {
+		return string(out), ee.ExitCode()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), 0
+}
+
+func TestBadFlagsExitOne(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the diagnostic
+	}{
+		{"pb zero", []string{"-pb", "0"}, "-pb must be positive"},
+		{"degree negative", []string{"-degree", "-1"}, "-degree must be positive"},
+		{"warm negative", []string{"-warm", "-5"}, "-warm must be non-negative"},
+		{"measure zero", []string{"-measure", "0"}, "-measure must be positive"},
+		{"table entries zero", []string{"-table-entries", "0"}, "-table-entries must be positive"},
+		{"bandwidth zero", []string{"-read-gbps", "0"}, "-read-gbps must be positive"},
+		{"unknown workload", []string{"-workload", "nope"}, "nope"},
+		{"unknown prefetcher", []string{"-prefetcher", "nope"}, "unknown prefetcher"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			out, code := runCLI(t, c.args...)
+			if code != 1 {
+				t.Errorf("exit code = %d, want 1 (output: %s)", code, out)
+			}
+			if !strings.Contains(out, c.want) {
+				t.Errorf("diagnostic %q does not mention %q", out, c.want)
+			}
+		})
+	}
+}
+
+func TestShortTraceExitsNonZero(t *testing.T) {
+	out, code := runCLI(t,
+		"-max-insts", "50000", "-warm", "500000", "-measure", "500000", "-nobase")
+	if code == 0 {
+		t.Errorf("short trace exited 0; output:\n%s", out)
+	}
+	if !strings.Contains(out, "statistics include warmup") {
+		t.Errorf("missing warmup-contamination warning in output:\n%s", out)
+	}
+}
+
+func TestValidRunExitsZero(t *testing.T) {
+	out, code := runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-nobase", "-prefetcher", "none")
+	if code != 0 {
+		t.Errorf("valid run exit code = %d; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "CPI") {
+		t.Errorf("expected statistics in output, got:\n%s", out)
+	}
+}

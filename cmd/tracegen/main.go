@@ -42,11 +42,18 @@ func main() {
 		return
 	}
 
+	if *insts <= 0 {
+		fatal(fmt.Errorf("-insts must be positive (got %g)", *insts))
+	}
 	p, err := workload.ByName(*name)
 	if err != nil {
 		fatal(err)
 	}
-	src := trace.NewLimit(workload.New(p), uint64(*insts))
+	gen, err := workload.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	src := trace.NewLimit(gen, uint64(*insts))
 
 	var w *trace.Writer
 	var f *os.File

@@ -25,10 +25,22 @@
 //	bench := ebcp.SPECjbb2005()
 //	cfg := ebcp.DefaultSystem(bench)
 //	cfg.WarmInsts, cfg.MeasureInsts = 20e6, 20e6
-//	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
-//	pf := ebcp.NewEBCP(ebcp.TunedEBCP())
-//	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+//	src, err := ebcp.NewTrace(bench)
+//	if err != nil { ... }
+//	base, err := ebcp.Run(src, ebcp.Baseline(), cfg)
+//	if err != nil { ... }
+//	pf, err := ebcp.NewEBCP(ebcp.TunedEBCP())
+//	if err != nil { ... }
+//	src, _ = ebcp.NewTrace(bench)
+//	res, err := ebcp.Run(src, pf, cfg)
+//	if err != nil { ... }
 //	fmt.Printf("speedup: %+.1f%%\n", 100*res.Improvement(base))
+//
+// Constructors and Run report failures as errors classified by the
+// sentinels in internal/ebcperr: invalid configurations wrap
+// ErrInvalidConfig, and a trace that ends before the warmup window
+// completes yields a *ShortTraceError (wrapping ErrShortTrace) that
+// still carries the partial Result.
 package ebcp
 
 import (
@@ -37,6 +49,7 @@ import (
 	"ebcp/internal/cache"
 	"ebcp/internal/core"
 	"ebcp/internal/cpu"
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/exp"
 	"ebcp/internal/mem"
 	"ebcp/internal/prefetch"
@@ -57,6 +70,11 @@ type (
 	// CMPResult carries the per-thread and aggregate statistics of a
 	// multi-core run.
 	CMPResult = sim.CMPResult
+	// ShortTraceError reports a run whose trace ended before warmup
+	// completed; it wraps ErrShortTrace and carries the partial Result.
+	ShortTraceError = sim.ShortTraceError
+	// CMPShortTraceError is the multi-core analogue of ShortTraceError.
+	CMPShortTraceError = sim.CMPShortTraceError
 	// Prefetcher is the interface all prefetchers implement.
 	Prefetcher = prefetch.Prefetcher
 	// EBCPConfig parameterizes the epoch-based correlation prefetcher.
@@ -80,6 +98,20 @@ type (
 	CoreConfig = cpu.Config
 )
 
+// Error sentinels: every failure returned by this package matches
+// exactly one of these under errors.Is.
+var (
+	// ErrInvalidConfig classifies rejected configurations and flag
+	// values.
+	ErrInvalidConfig = ebcperr.ErrInvalidConfig
+	// ErrShortTrace classifies runs whose trace ended before the warmup
+	// window completed, so the returned statistics include warmup.
+	ErrShortTrace = ebcperr.ErrShortTrace
+	// ErrCancelled classifies experiment cells skipped because the
+	// session's context was cancelled before they could run.
+	ErrCancelled = ebcperr.ErrCancelled
+)
+
 // The four commercial benchmarks of the paper's evaluation.
 var (
 	Database           = workload.Database
@@ -93,8 +125,14 @@ var (
 )
 
 // NewTrace builds the deterministic condensed-trace source for a
-// benchmark.
-func NewTrace(b Benchmark) TraceSource { return workload.New(b) }
+// benchmark. Invalid benchmark parameters return an error wrapping
+// ErrInvalidConfig.
+func NewTrace(b Benchmark) (TraceSource, error) { return workload.New(b) }
+
+// LimitTrace truncates a trace source after n instructions. A limit
+// below a run's warmup window makes Run return an ErrShortTrace-wrapped
+// error instead of clean-looking statistics.
+func LimitTrace(src TraceSource, n uint64) TraceSource { return trace.NewLimit(src, n) }
 
 // DefaultSystem returns the paper's default processor configuration
 // (Section 4.4), with the core's on-chip CPI calibrated for the given
@@ -106,8 +144,11 @@ func DefaultSystem(b Benchmark) SystemConfig {
 }
 
 // Run simulates the trace on the system with the given prefetcher and
-// returns the measured statistics.
-func Run(src TraceSource, pf Prefetcher, cfg SystemConfig) Result {
+// returns the measured statistics. An invalid configuration returns an
+// error wrapping ErrInvalidConfig; a trace that ends before the warmup
+// window completes returns a *ShortTraceError (wrapping ErrShortTrace)
+// alongside the warmup-contaminated partial Result.
+func Run(src TraceSource, pf Prefetcher, cfg SystemConfig) (Result, error) {
 	return sim.Run(src, pf, cfg)
 }
 
@@ -115,7 +156,11 @@ func Run(src TraceSource, pf Prefetcher, cfg SystemConfig) Result {
 // private cores and L1 caches, shared L2/interconnect/prefetcher. Set
 // EBCPConfig.Cores to the thread count so the prefetcher control tracks
 // each thread's epochs separately (the paper's Section 6 direction).
-func RunCMP(sources []TraceSource, pf Prefetcher, cfg SystemConfig) CMPResult {
+// RunCMP's error contract matches Run: ErrInvalidConfig for bad
+// configurations, and a *CMPShortTraceError (wrapping ErrShortTrace,
+// carrying the partial CMPResult) when any thread's trace ends before
+// its warmup window completes.
+func RunCMP(sources []TraceSource, pf Prefetcher, cfg SystemConfig) (CMPResult, error) {
 	return sim.RunCMP(sources, pf, cfg)
 }
 
@@ -138,13 +183,14 @@ func IdealizedEBCP() EBCPConfig {
 	return cfg
 }
 
-// NewEBCP builds an epoch-based correlation prefetcher.
-func NewEBCP(cfg EBCPConfig) *EBCP { return core.New(cfg) }
+// NewEBCP builds an epoch-based correlation prefetcher. An invalid
+// configuration returns an error wrapping ErrInvalidConfig.
+func NewEBCP(cfg EBCPConfig) (*EBCP, error) { return core.New(cfg) }
 
 // NewEBCPMinus builds the handicapped EBCP-minus ablation of Section 5.3,
 // which also stores the (untimely) misses of the epoch immediately after
 // the trigger.
-func NewEBCPMinus(cfg EBCPConfig) *EBCP {
+func NewEBCPMinus(cfg EBCPConfig) (*EBCP, error) {
 	cfg.Minus = true
 	return core.New(cfg)
 }
@@ -164,11 +210,11 @@ var (
 const NoTableIndex = cache.NoTableIndex
 
 // NewStream builds the 32-stream stride prefetcher.
-func NewStream(degree int) Prefetcher { return prefetch.NewStream(32, degree) }
+func NewStream(degree int) (Prefetcher, error) { return prefetch.NewStream(32, degree) }
 
 // NewSolihin builds Solihin's memory-side correlation prefetcher with the
 // given prefetch depth and width and a 1M-entry main-memory table.
-func NewSolihin(depth, width int) Prefetcher {
+func NewSolihin(depth, width int) (Prefetcher, error) {
 	return prefetch.NewSolihin(depth, width, 1<<20)
 }
 
@@ -209,8 +255,9 @@ func NewExperimentSession(opts ExperimentOptions) *ExperimentSession {
 }
 
 // NewExperimentSessionContext creates a session whose simulations stop
-// when ctx is cancelled: pending cells are skipped and reports carry
-// zero values for cells that never ran (Session.Err reports why).
+// when ctx is cancelled: pending cells are skipped and reports render
+// "n/a" for cells that never ran (Session.Err reports why and
+// Session.Failures counts them).
 func NewExperimentSessionContext(ctx context.Context, opts ExperimentOptions) *ExperimentSession {
 	return exp.NewSessionContext(ctx, opts)
 }

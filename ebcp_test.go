@@ -29,12 +29,12 @@ func TestPublicQuickstartFlow(t *testing.T) {
 	cfg := DefaultSystem(bench)
 	cfg.WarmInsts, cfg.MeasureInsts = 3e6, 3e6
 
-	base := Run(NewTrace(bench), Baseline(), cfg)
+	base := must(Run(must(NewTrace(bench)), Baseline(), cfg))
 	if base.CPI() <= 0 {
 		t.Fatal("baseline CPI must be positive")
 	}
-	pf := NewEBCP(TunedEBCP())
-	res := Run(NewTrace(bench), pf, cfg)
+	pf := must(NewEBCP(TunedEBCP()))
+	res := must(Run(must(NewTrace(bench)), pf, cfg))
 	if res.Prefetcher != "EBCP" {
 		t.Errorf("prefetcher name = %q", res.Prefetcher)
 	}
@@ -46,15 +46,15 @@ func TestPublicQuickstartFlow(t *testing.T) {
 
 func TestPublicPrefetcherConstructors(t *testing.T) {
 	cons := map[string]Prefetcher{
-		"GHB small":   NewGHBSmall(6),
-		"GHB large":   NewGHBLarge(6),
-		"TCP small":   NewTCPSmall(6),
-		"TCP large":   NewTCPLarge(6),
-		"stream":      NewStream(6),
+		"GHB small":   must(NewGHBSmall(6)),
+		"GHB large":   must(NewGHBLarge(6)),
+		"TCP small":   must(NewTCPSmall(6)),
+		"TCP large":   must(NewTCPLarge(6)),
+		"stream":      must(NewStream(6)),
 		"SMS":         NewSMS(),
-		"Solihin 3,2": NewSolihin(3, 2),
-		"Solihin 6,1": NewSolihin(6, 1),
-		"EBCP minus":  NewEBCPMinus(TunedEBCP()),
+		"Solihin 3,2": must(NewSolihin(3, 2)),
+		"Solihin 6,1": must(NewSolihin(6, 1)),
+		"EBCP minus":  must(NewEBCPMinus(TunedEBCP())),
 	}
 	for want, pf := range cons {
 		if pf.Name() != want {
@@ -71,7 +71,7 @@ func TestIdealizedConfig(t *testing.T) {
 	if err := cfg.Validate(); err != nil {
 		t.Error(err)
 	}
-	if !strings.HasPrefix(NewEBCP(cfg).Name(), "EBCP") {
+	if !strings.HasPrefix(must(NewEBCP(cfg)).Name(), "EBCP") {
 		t.Error("name")
 	}
 }
@@ -81,7 +81,7 @@ func TestCustomPrefetcherImplementsInterface(t *testing.T) {
 	bench := Database()
 	cfg := DefaultSystem(bench)
 	cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
-	res := Run(NewTrace(bench), nextLine{}, cfg)
+	res := must(Run(must(NewTrace(bench)), nextLine{}, cfg))
 	if res.Prefetcher != "next-line" {
 		t.Errorf("name = %q", res.Prefetcher)
 	}

@@ -15,6 +15,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"ebcp"
 )
@@ -36,17 +37,17 @@ func main() {
 			for i := range out {
 				b := bench
 				b.Seed += int64(i) * 7919 // independent threads of the server
-				out[i] = ebcp.NewTrace(b)
+				out[i] = must(ebcp.NewTrace(b))
 			}
 			return out
 		}
 
-		base := ebcp.RunCMP(sources(), ebcp.Baseline(), cfg)
+		base := must(ebcp.RunCMP(sources(), ebcp.Baseline(), cfg))
 
 		ecfg := ebcp.TunedEBCP()
 		ecfg.Cores = cores
-		withEBCP := ebcp.RunCMP(sources(), ebcp.NewEBCP(ecfg), cfg)
-		withSol := ebcp.RunCMP(sources(), ebcp.NewSolihin(6, 1), cfg)
+		withEBCP := must(ebcp.RunCMP(sources(), must(ebcp.NewEBCP(ecfg)), cfg))
+		withSol := must(ebcp.RunCMP(sources(), must(ebcp.NewSolihin(6, 1)), cfg))
 
 		fmt.Printf("%8d %+17.1f%% %+21.1f%%\n",
 			cores,
@@ -57,4 +58,14 @@ func main() {
 	fmt.Println("\nEBCP keeps its benefit: per-thread EMABs at the crossbar see each")
 	fmt.Println("miss stream separately. The memory-side prefetcher trains on the")
 	fmt.Println("interleaved stream and its correlations dissolve as cores are added.")
+}
+
+// must unwraps a (value, error) pair, exiting on error; example-sized
+// error handling.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
 }

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"ebcp"
 )
@@ -41,21 +42,31 @@ func main() {
 	cfg.WarmInsts = 25_000_000
 	cfg.MeasureInsts = 15_000_000
 
-	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	base := must(ebcp.Run(must(ebcp.NewTrace(bench)), ebcp.Baseline(), cfg))
 	fmt.Printf("workload %s, baseline CPI %.3f\n\n", bench.Name, base.CPI())
 	fmt.Printf("%-14s %12s %10s %10s\n", "prefetcher", "improvement", "coverage", "accuracy")
 
 	for _, pf := range []ebcp.Prefetcher{
 		nextN{n: 1},
 		nextN{n: 4},
-		ebcp.NewStream(6),
-		ebcp.NewEBCP(ebcp.TunedEBCP()),
+		must(ebcp.NewStream(6)),
+		must(ebcp.NewEBCP(ebcp.TunedEBCP())),
 	} {
-		res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+		res := must(ebcp.Run(must(ebcp.NewTrace(bench)), pf, cfg))
 		fmt.Printf("%-14s %+11.1f%% %9.0f%% %9.0f%%\n",
 			pf.Name(), 100*res.Improvement(base), 100*res.Coverage(), 100*res.Accuracy())
 	}
 
 	fmt.Println("\nnext-line prefetching catches the spatial fraction of the miss")
 	fmt.Println("stream; the pointer-chased epoch triggers need correlation.")
+}
+
+// must unwraps a (value, error) pair, exiting on error; example-sized
+// error handling.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
 }

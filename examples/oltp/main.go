@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"ebcp"
 )
@@ -21,11 +22,11 @@ func main() {
 
 	fmt.Println("=== Database OLTP under the epoch MLP model ===")
 
-	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	base := must(ebcp.Run(must(ebcp.NewTrace(bench)), ebcp.Baseline(), cfg))
 	show("baseline (no prefetching)", base)
 
-	pf := ebcp.NewEBCP(ebcp.TunedEBCP())
-	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+	pf := must(ebcp.NewEBCP(ebcp.TunedEBCP()))
+	res := must(ebcp.Run(must(ebcp.NewTrace(bench)), pf, cfg))
 	show("tuned EBCP (1M-entry main-memory table, degree 8)", res)
 
 	fmt.Println("=== prefetcher internals ===")
@@ -66,4 +67,14 @@ func show(label string, r ebcp.Result) {
 		fmt.Printf("prefetch coverage %.0f%%, accuracy %.0f%% (%d full + %d in-flight buffer hits)\n",
 			100*r.Coverage(), 100*r.Accuracy(), r.PB.Hits, r.PB.PartialHits)
 	}
+}
+
+// must unwraps a (value, error) pair, exiting on error; example-sized
+// error handling.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
 }

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"ebcp"
 )
@@ -22,14 +23,14 @@ func main() {
 	fmt.Printf("workload: %s\n", bench.Name)
 
 	// Baseline: no prefetching.
-	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	base := must(ebcp.Run(must(ebcp.NewTrace(bench)), ebcp.Baseline(), cfg))
 	fmt.Printf("baseline: CPI %.3f, %.2f epochs/1000 insts, %.2f load MPKI\n",
 		base.CPI(), base.EPKI(), base.LoadMPKI())
 
 	// The tuned EBCP of Section 5.2: a one-million-entry correlation
 	// table in main memory, prefetch degree 8, 64-entry prefetch buffer.
-	pf := ebcp.NewEBCP(ebcp.TunedEBCP())
-	res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+	pf := must(ebcp.NewEBCP(ebcp.TunedEBCP()))
+	res := must(ebcp.Run(must(ebcp.NewTrace(bench)), pf, cfg))
 
 	fmt.Printf("EBCP:     CPI %.3f, %.2f epochs/1000 insts, %.2f load MPKI\n",
 		res.CPI(), res.EPKI(), res.LoadMPKI())
@@ -38,4 +39,14 @@ func main() {
 	fmt.Printf("\noverall performance improvement: %+.1f%%\n", 100*res.Improvement(base))
 	fmt.Printf("epochs-per-instruction reduction: %+.1f%%\n", 100*res.EPIReduction(base))
 	fmt.Println("\n(the paper's full-window tuned result for SPECjbb2005 is +31%)")
+}
+
+// must unwraps a (value, error) pair, exiting on error; example-sized
+// error handling.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
 }

@@ -29,7 +29,7 @@ func main() {
 	cfg.MeasureInsts = 20_000_000
 
 	fmt.Printf("prefetcher shootout on %s (degree 6, 64-entry prefetch buffer)\n\n", bench.Name)
-	base := ebcp.Run(ebcp.NewTrace(bench), ebcp.Baseline(), cfg)
+	base := must(ebcp.Run(must(ebcp.NewTrace(bench)), ebcp.Baseline(), cfg))
 	fmt.Printf("baseline CPI %.3f\n\n", base.CPI())
 
 	ebcpCfg := ebcp.TunedEBCP()
@@ -37,16 +37,16 @@ func main() {
 	ebcpCfg.TableMaxAddrs = 6
 	minusCfg := ebcpCfg
 	contenders := []func() ebcp.Prefetcher{
-		func() ebcp.Prefetcher { return ebcp.NewGHBSmall(6) },
-		func() ebcp.Prefetcher { return ebcp.NewGHBLarge(6) },
-		func() ebcp.Prefetcher { return ebcp.NewTCPSmall(6) },
-		func() ebcp.Prefetcher { return ebcp.NewTCPLarge(6) },
-		func() ebcp.Prefetcher { return ebcp.NewStream(6) },
+		func() ebcp.Prefetcher { return must(ebcp.NewGHBSmall(6)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewGHBLarge(6)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewTCPSmall(6)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewTCPLarge(6)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewStream(6)) },
 		func() ebcp.Prefetcher { return ebcp.NewSMS() },
-		func() ebcp.Prefetcher { return ebcp.NewSolihin(3, 2) },
-		func() ebcp.Prefetcher { return ebcp.NewSolihin(6, 1) },
-		func() ebcp.Prefetcher { return ebcp.NewEBCPMinus(minusCfg) },
-		func() ebcp.Prefetcher { return ebcp.NewEBCP(ebcpCfg) },
+		func() ebcp.Prefetcher { return must(ebcp.NewSolihin(3, 2)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewSolihin(6, 1)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewEBCPMinus(minusCfg)) },
+		func() ebcp.Prefetcher { return must(ebcp.NewEBCP(ebcpCfg)) },
 	}
 
 	type entry struct {
@@ -56,7 +56,7 @@ func main() {
 	var table []entry
 	for _, build := range contenders {
 		pf := build()
-		res := ebcp.Run(ebcp.NewTrace(bench), pf, cfg)
+		res := must(ebcp.Run(must(ebcp.NewTrace(bench)), pf, cfg))
 		table = append(table, entry{
 			name: pf.Name(),
 			imp:  100 * res.Improvement(base),
@@ -71,4 +71,14 @@ func main() {
 	for i, e := range table {
 		fmt.Printf("%d. %-12s %+11.1f%% %9.0f%% %9.0f%%\n", i+1, e.name, e.imp, e.cov, e.acc)
 	}
+}
+
+// must unwraps a (value, error) pair, exiting on error; example-sized
+// error handling.
+func must[T any](v T, err error) T {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return v
 }

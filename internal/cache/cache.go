@@ -8,9 +8,8 @@
 package cache
 
 import (
-	"fmt"
-
 	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
 )
 
 // Config describes one cache.
@@ -25,21 +24,22 @@ type Config struct {
 	HitLatency uint64
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (c Config) Validate() error {
 	if c.SizeBytes == 0 || !amo.IsPow2(c.SizeBytes) {
-		return fmt.Errorf("cache %s: size %d must be a non-zero power of two", c.Name, c.SizeBytes)
+		return ebcperr.Invalidf("cache %s: size %d must be a non-zero power of two", c.Name, c.SizeBytes)
 	}
 	if c.Ways <= 0 {
-		return fmt.Errorf("cache %s: ways %d must be positive", c.Name, c.Ways)
+		return ebcperr.Invalidf("cache %s: ways %d must be positive", c.Name, c.Ways)
 	}
 	lines := c.SizeBytes / amo.LineSize
 	if lines%uint64(c.Ways) != 0 {
-		return fmt.Errorf("cache %s: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
+		return ebcperr.Invalidf("cache %s: %d lines not divisible by %d ways", c.Name, lines, c.Ways)
 	}
 	sets := lines / uint64(c.Ways)
 	if !amo.IsPow2(sets) {
-		return fmt.Errorf("cache %s: %d sets is not a power of two", c.Name, sets)
+		return ebcperr.Invalidf("cache %s: %d sets is not a power of two", c.Name, sets)
 	}
 	return nil
 }
@@ -82,11 +82,11 @@ type Cache struct {
 	stats   Stats
 }
 
-// New builds a cache from cfg. It panics on invalid configuration (cache
-// shapes are programmer-supplied constants, not runtime input).
-func New(cfg Config) *Cache {
+// New builds a cache from cfg. It returns an ErrInvalidConfig-classified
+// error if the configuration fails Validate.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nSets := int(cfg.SizeBytes / amo.LineSize / uint64(cfg.Ways))
 	sets := make([][]way, nSets)
@@ -99,7 +99,7 @@ func New(cfg Config) *Cache {
 		sets:    sets,
 		nSets:   nSets,
 		setBits: amo.Log2(uint64(nSets)),
-	}
+	}, nil
 }
 
 // Config returns the cache's configuration.

@@ -11,7 +11,7 @@ import (
 func smallCache(t *testing.T) *Cache {
 	t.Helper()
 	// 4KB, 4-way, 64B lines -> 16 sets of 4.
-	return New(Config{Name: "test", SizeBytes: 4096, Ways: 4, HitLatency: 1})
+	return must(New(Config{Name: "test", SizeBytes: 4096, Ways: 4, HitLatency: 1}))
 }
 
 func TestConfigValidate(t *testing.T) {
@@ -124,7 +124,7 @@ func TestTouchKeepsLineWarm(t *testing.T) {
 // line reported resident by Lookup must have been filled and not yet
 // evicted or invalidated. We check against a reference model.
 func TestCacheMatchesReferenceModel(t *testing.T) {
-	c := New(Config{Name: "ref", SizeBytes: 2048, Ways: 2, HitLatency: 1}) // 16 sets x 2
+	c := must(New(Config{Name: "ref", SizeBytes: 2048, Ways: 2, HitLatency: 1})) // 16 sets x 2
 	type refLine struct {
 		line  amo.Line
 		stamp uint64
@@ -221,7 +221,7 @@ func TestCapacityProperty(t *testing.T) {
 	// After arbitrarily many fills, at most Ways distinct lines of any one
 	// set survive.
 	f := func(seeds []uint16) bool {
-		c := New(Config{Name: "p", SizeBytes: 1024, Ways: 2, HitLatency: 1}) // 8 sets x 2
+		c := must(New(Config{Name: "p", SizeBytes: 1024, Ways: 2, HitLatency: 1})) // 8 sets x 2
 		for _, s := range seeds {
 			c.Fill(amo.Line(s), false)
 		}
@@ -253,7 +253,7 @@ func TestCapacityProperty(t *testing.T) {
 }
 
 func TestDirtyEvictionReported(t *testing.T) {
-	c := New(Config{Name: "d", SizeBytes: 4096, Ways: 4, HitLatency: 1}) // 16 sets x 4
+	c := must(New(Config{Name: "d", SizeBytes: 4096, Ways: 4, HitLatency: 1})) // 16 sets x 4
 	// Fill set 0 with 3 clean lines and one dirty line.
 	for i := 0; i < 3; i++ {
 		c.Fill(amo.Line(i*16), false)
@@ -280,7 +280,7 @@ func TestDirtyEvictionReported(t *testing.T) {
 }
 
 func TestRefillMergesDirtyBit(t *testing.T) {
-	c := New(Config{Name: "d2", SizeBytes: 4096, Ways: 4, HitLatency: 1})
+	c := must(New(Config{Name: "d2", SizeBytes: 4096, Ways: 4, HitLatency: 1}))
 	l := amo.LineOf(0x40)
 	c.Fill(l, false)
 	c.Fill(l, true) // store to a resident line marks it dirty

@@ -1,6 +1,9 @@
 package cache
 
-import "ebcp/internal/amo"
+import (
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+)
 
 // MSHR models a miss status holding register file: the set of line
 // addresses with an outstanding miss. Requests to a line that is already
@@ -60,23 +63,24 @@ func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
 
 // Allocate records a new outstanding miss completing at the given cycle.
 // If the line is already outstanding the request merges (the earlier
-// completion wins) and Allocate reports merged=true. Allocating into a
-// full MSHR file panics: callers must check Full first.
-func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool) {
+// completion wins) and Allocate reports merged=true. Allocating a new
+// line into a full file is a caller bug (check Full first) and returns
+// an ErrInvalidConfig-classified error without modifying the file.
+func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool, err error) {
 	if i := m.find(l); i >= 0 {
 		m.merged++
 		if completion < m.completions[i] {
 			m.completions[i] = completion
 		}
-		return true
+		return true, nil
 	}
 	if m.Full() {
-		panic("cache: MSHR allocate on full file")
+		return false, ebcperr.Invalidf("cache: MSHR allocate on full %d-entry file", m.capacity)
 	}
 	m.lines[m.n] = l
 	m.completions[m.n] = completion
 	m.n++
-	return false
+	return false, nil
 }
 
 // CompleteThrough releases every entry whose completion cycle is <= now and

@@ -32,16 +32,16 @@ func TestMSHRAllocateComplete(t *testing.T) {
 
 func TestMSHRMerge(t *testing.T) {
 	m := NewMSHR(2)
-	if merged := m.Allocate(amo.Line(5), 300); merged {
+	if merged := must(m.Allocate(amo.Line(5), 300)); merged {
 		t.Error("first allocate should not merge")
 	}
-	if merged := m.Allocate(amo.Line(5), 250); !merged {
+	if merged := must(m.Allocate(amo.Line(5), 250)); !merged {
 		t.Error("second allocate to same line should merge")
 	}
 	if c, _ := m.Lookup(amo.Line(5)); c != 250 {
 		t.Errorf("merge should keep earlier completion, got %d", c)
 	}
-	if merged := m.Allocate(amo.Line(5), 400); !merged {
+	if merged := must(m.Allocate(amo.Line(5), 400)); !merged {
 		t.Error("later completion should still merge")
 	}
 	if c, _ := m.Lookup(amo.Line(5)); c != 250 {
@@ -55,18 +55,22 @@ func TestMSHRMerge(t *testing.T) {
 	}
 }
 
-func TestMSHRFullPanics(t *testing.T) {
+func TestMSHRFullErrors(t *testing.T) {
 	m := NewMSHR(1)
 	m.Allocate(amo.Line(1), 10)
 	if !m.Full() {
 		t.Fatal("MSHR should be full")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("Allocate on full MSHR should panic")
-		}
-	}()
-	m.Allocate(amo.Line(2), 20)
+	merged, err := m.Allocate(amo.Line(2), 20)
+	if err == nil {
+		t.Fatal("Allocate on full MSHR should return an error")
+	}
+	if merged {
+		t.Error("failed allocation must not report a merge")
+	}
+	if m.Outstanding() != 1 {
+		t.Errorf("failed allocation must not consume an entry: %d", m.Outstanding())
+	}
 }
 
 func TestMSHRMaxCompletion(t *testing.T) {

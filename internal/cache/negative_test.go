@@ -1,0 +1,50 @@
+package cache
+
+import (
+	"errors"
+	"testing"
+
+	"ebcp/internal/ebcperr"
+)
+
+// checkInvalid asserts the typed-error contract for rejected
+// configurations: a descriptive error classified ErrInvalidConfig, never
+// a panic.
+func checkInvalid(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: panicked (%v), want typed error", name, r)
+			}
+		}()
+		return f()
+	}()
+	switch {
+	case err == nil:
+		t.Errorf("%s: accepted, want error", name)
+	case !errors.Is(err, ebcperr.ErrInvalidConfig):
+		t.Errorf("%s: error %q not classified ErrInvalidConfig", name, err)
+	case len(err.Error()) < 10:
+		t.Errorf("%s: message %q not descriptive", name, err)
+	}
+}
+
+func TestNegativeConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"zero size", func() error { _, err := New(Config{Name: "x", SizeBytes: 0, Ways: 4}); return err }},
+		{"non-pow2 size", func() error { _, err := New(Config{Name: "x", SizeBytes: 3000, Ways: 4}); return err }},
+		{"zero ways", func() error { _, err := New(Config{Name: "x", SizeBytes: 4096, Ways: 0}); return err }},
+		{"indivisible ways", func() error { _, err := New(Config{Name: "x", SizeBytes: 4096, Ways: 3}); return err }},
+		{"non-pow2 sets", func() error { _, err := New(Config{Name: "x", SizeBytes: 1 << 20, Ways: 48}); return err }},
+		{"PB zero entries", func() error { _, err := NewPrefetchBuffer(0, 4); return err }},
+		{"PB zero ways", func() error { _, err := NewPrefetchBuffer(64, 0); return err }},
+		{"PB non-pow2 sets", func() error { _, err := NewPrefetchBuffer(12, 4); return err }},
+	}
+	for _, c := range cases {
+		checkInvalid(t, c.name, c.f)
+	}
+}

@@ -1,9 +1,8 @@
 package cache
 
 import (
-	"fmt"
-
 	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
 )
 
 // PBEntry describes a line resident in (or in flight to) the prefetch
@@ -57,24 +56,25 @@ type PrefetchBuffer struct {
 
 // NewPrefetchBuffer creates a buffer with the given total entries and
 // associativity. entries/ways must be a power of two number of sets; a
-// buffer smaller than one full set degenerates to fully associative.
-func NewPrefetchBuffer(entries, ways int) *PrefetchBuffer {
+// buffer smaller than one full set degenerates to fully associative. A
+// bad shape returns an ErrInvalidConfig-classified error.
+func NewPrefetchBuffer(entries, ways int) (*PrefetchBuffer, error) {
 	if entries <= 0 || ways <= 0 {
-		panic(fmt.Sprintf("cache: bad prefetch buffer shape %d/%d", entries, ways))
+		return nil, ebcperr.Invalidf("cache: bad prefetch buffer shape %d/%d (entries and ways must be positive)", entries, ways)
 	}
 	if entries < ways {
 		ways = entries
 	}
 	nSets := entries / ways
 	if !amo.IsPow2(uint64(nSets)) {
-		panic(fmt.Sprintf("cache: prefetch buffer sets %d not a power of two", nSets))
+		return nil, ebcperr.Invalidf("cache: prefetch buffer sets %d not a power of two", nSets)
 	}
 	sets := make([][]pbWay, nSets)
 	backing := make([]pbWay, nSets*ways)
 	for i := range sets {
 		sets[i], backing = backing[:ways], backing[ways:]
 	}
-	return &PrefetchBuffer{ways: ways, nSets: nSets, setBits: amo.Log2(uint64(nSets)), sets: sets}
+	return &PrefetchBuffer{ways: ways, nSets: nSets, setBits: amo.Log2(uint64(nSets)), sets: sets}, nil
 }
 
 // Entries returns the total capacity.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestPBInsertHit(t *testing.T) {
-	b := NewPrefetchBuffer(64, 4)
+	b := must(NewPrefetchBuffer(64, 4))
 	l := amo.LineOf(0x4000)
 	b.Insert(l, PBEntry{ReadyAt: 100, TableIndex: 7})
 	e, hit, partial := b.Hit(l, 150)
@@ -28,7 +28,7 @@ func TestPBInsertHit(t *testing.T) {
 }
 
 func TestPBPartialHit(t *testing.T) {
-	b := NewPrefetchBuffer(64, 4)
+	b := must(NewPrefetchBuffer(64, 4))
 	l := amo.LineOf(0x4000)
 	b.Insert(l, PBEntry{ReadyAt: 500})
 	e, hit, partial := b.Hit(l, 100)
@@ -44,14 +44,14 @@ func TestPBPartialHit(t *testing.T) {
 }
 
 func TestPBMiss(t *testing.T) {
-	b := NewPrefetchBuffer(16, 4)
+	b := must(NewPrefetchBuffer(16, 4))
 	if _, hit, _ := b.Hit(amo.LineOf(0x123440), 0); hit {
 		t.Error("empty buffer should miss")
 	}
 }
 
 func TestPBReinsertKeepsEarlierReady(t *testing.T) {
-	b := NewPrefetchBuffer(16, 4)
+	b := must(NewPrefetchBuffer(16, 4))
 	l := amo.LineOf(0x80)
 	b.Insert(l, PBEntry{ReadyAt: 100})
 	b.Insert(l, PBEntry{ReadyAt: 300, TableIndex: 9})
@@ -69,7 +69,7 @@ func TestPBReinsertKeepsEarlierReady(t *testing.T) {
 
 func TestPBEvictionLRU(t *testing.T) {
 	// 4 entries, 4-way => one fully-associative set.
-	b := NewPrefetchBuffer(4, 4)
+	b := must(NewPrefetchBuffer(4, 4))
 	for i := 0; i < 4; i++ {
 		b.Insert(amo.Line(i), PBEntry{})
 	}
@@ -91,7 +91,7 @@ func TestPBEvictionLRU(t *testing.T) {
 func TestPBSetMapping(t *testing.T) {
 	// 8 entries 4-way => 2 sets; lines with equal parity of line number map
 	// to the same set. Filling 5 even lines must not disturb odd lines.
-	b := NewPrefetchBuffer(8, 4)
+	b := must(NewPrefetchBuffer(8, 4))
 	b.Insert(amo.Line(1), PBEntry{})
 	for i := 0; i < 5; i++ {
 		b.Insert(amo.Line(2*i), PBEntry{})
@@ -102,7 +102,7 @@ func TestPBSetMapping(t *testing.T) {
 }
 
 func TestPBInvalidate(t *testing.T) {
-	b := NewPrefetchBuffer(16, 4)
+	b := must(NewPrefetchBuffer(16, 4))
 	l := amo.LineOf(0xc0)
 	b.Insert(l, PBEntry{})
 	if !b.Invalidate(l) {
@@ -117,7 +117,7 @@ func TestPBInvalidate(t *testing.T) {
 }
 
 func TestPBOccupancy(t *testing.T) {
-	b := NewPrefetchBuffer(64, 4)
+	b := must(NewPrefetchBuffer(64, 4))
 	for i := 0; i < 10; i++ {
 		b.Insert(amo.Line(i*3), PBEntry{})
 	}
@@ -131,7 +131,7 @@ func TestPBOccupancy(t *testing.T) {
 }
 
 func TestPBSmallerThanWays(t *testing.T) {
-	b := NewPrefetchBuffer(2, 4) // degenerates to 2-way single set
+	b := must(NewPrefetchBuffer(2, 4)) // degenerates to 2-way single set
 	b.Insert(amo.Line(1), PBEntry{})
 	b.Insert(amo.Line(2), PBEntry{})
 	b.Insert(amo.Line(3), PBEntry{})

@@ -17,10 +17,9 @@
 package core
 
 import (
-	"fmt"
-
 	"ebcp/internal/amo"
 	"ebcp/internal/corrtab"
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 )
 
@@ -76,22 +75,23 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (c Config) Validate() error {
 	if c.TableEntries <= 0 || !amo.IsPow2(uint64(c.TableEntries)) {
-		return fmt.Errorf("core: table entries %d must be a positive power of two", c.TableEntries)
+		return ebcperr.Invalidf("core: table entries %d must be a positive power of two", c.TableEntries)
 	}
 	if c.TableMaxAddrs <= 0 || c.Degree <= 0 {
-		return fmt.Errorf("core: table addrs and degree must be positive")
+		return ebcperr.Invalidf("core: table addrs %d and degree %d must be positive", c.TableMaxAddrs, c.Degree)
 	}
 	if c.EMABEpochs < 3 {
-		return fmt.Errorf("core: EMAB needs at least 3 epochs, got %d", c.EMABEpochs)
+		return ebcperr.Invalidf("core: EMAB needs at least 3 epochs, got %d", c.EMABEpochs)
 	}
 	if c.EMABMaxAddrs <= 0 || c.VirtualWindow == 0 {
-		return fmt.Errorf("core: EMAB addrs and virtual window must be positive")
+		return ebcperr.Invalidf("core: EMAB addrs %d and virtual window %d must be positive", c.EMABMaxAddrs, c.VirtualWindow)
 	}
 	if c.Cores < 0 {
-		return fmt.Errorf("core: cores must be non-negative")
+		return ebcperr.Invalidf("core: cores %d must be non-negative", c.Cores)
 	}
 	return nil
 }
@@ -175,10 +175,11 @@ type EBCP struct {
 
 var _ prefetch.Prefetcher = (*EBCP)(nil)
 
-// New builds an EBCP instance. It panics on invalid configuration.
-func New(cfg Config) *EBCP {
+// New builds an EBCP instance. It returns an ErrInvalidConfig-classified
+// error if the configuration fails Validate.
+func New(cfg Config) (*EBCP, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	cores := make([]coreState, cfg.cores())
 	for c := range cores {
@@ -188,13 +189,17 @@ func New(cfg Config) *EBCP {
 		}
 		cores[c].emab = emab
 	}
+	table, err := corrtab.New(corrtab.Config{Entries: cfg.TableEntries, MaxAddrs: cfg.TableMaxAddrs})
+	if err != nil {
+		return nil, err
+	}
 	return &EBCP{
 		cfg:     cfg,
-		table:   corrtab.New(corrtab.Config{Entries: cfg.TableEntries, MaxAddrs: cfg.TableMaxAddrs}),
+		table:   table,
 		cores:   cores,
 		payload: make([]amo.Line, 0, 2*cfg.EMABMaxAddrs),
 		active:  true,
-	}
+	}, nil
 }
 
 // Name implements prefetch.Prefetcher.

@@ -10,9 +10,9 @@ import (
 )
 
 func testCtx() *prefetch.Context {
-	m := mem.New(mem.DefaultConfig())
-	l2 := cache.New(cache.Config{Name: "L2", SizeBytes: 2 << 20, Ways: 4, HitLatency: 20})
-	pb := cache.NewPrefetchBuffer(1024, 4)
+	m := must(mem.New(mem.DefaultConfig()))
+	l2 := must(cache.New(cache.Config{Name: "L2", SizeBytes: 2 << 20, Ways: 4, HitLatency: 20}))
+	pb := must(cache.NewPrefetchBuffer(1024, 4))
 	return prefetch.NewContext(m, pb, l2)
 }
 
@@ -45,12 +45,12 @@ func TestConfigValidate(t *testing.T) {
 }
 
 func TestName(t *testing.T) {
-	if New(smallConfig()).Name() != "EBCP" {
+	if must(New(smallConfig())).Name() != "EBCP" {
 		t.Error("name")
 	}
 	cfg := smallConfig()
 	cfg.Minus = true
-	if New(cfg).Name() != "EBCP minus" {
+	if must(New(cfg)).Name() != "EBCP minus" {
 		t.Error("minus name")
 	}
 }
@@ -78,7 +78,7 @@ func epoch(e *EBCP, ctx *prefetch.Context, now *uint64, inst *uint64, lines ...a
 
 func TestTrainingStoresEpochsPlus2and3(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	now, inst := uint64(0), uint64(0)
 	// Epochs: [A,B] [C,D] [E,F] [G,H] [I,J] ...
 	epochs := [][]amo.Line{
@@ -110,7 +110,7 @@ func TestMinusStoresEpochsPlus1and2(t *testing.T) {
 	ctx := testCtx()
 	cfg := smallConfig()
 	cfg.Minus = true
-	e := New(cfg)
+	e := must(New(cfg))
 	now, inst := uint64(0), uint64(0)
 	for _, ep := range [][]amo.Line{{10}, {20}, {30}, {40}, {50}, {60}} {
 		epoch(e, ctx, &now, &inst, ep...)
@@ -129,7 +129,7 @@ func TestMinusStoresEpochsPlus1and2(t *testing.T) {
 
 func TestLookupIssuesPrefetchesAfterTableRead(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	now, inst := uint64(0), uint64(0)
 	seq := [][]amo.Line{{10, 11}, {20}, {30, 31}, {40}, {50}, {60}}
 	// Two laps: first trains, second should prefetch.
@@ -155,7 +155,7 @@ func TestLookupIssuesPrefetchesAfterTableRead(t *testing.T) {
 
 func TestSubsequentMissesInEpochDoNotLookUp(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	now, inst := uint64(0), uint64(0)
 	epoch(e, ctx, &now, &inst, 10, 11, 12, 13) // one epoch, 4 misses
 	if got := e.Stats().Lookups; got != 1 {
@@ -165,7 +165,7 @@ func TestSubsequentMissesInEpochDoNotLookUp(t *testing.T) {
 
 func TestVirtualBoundaryOnDependentPBHit(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	now, inst := uint64(0), uint64(0)
 	// Train a sequence.
 	for lap := 0; lap < 2; lap++ {
@@ -190,7 +190,7 @@ func TestVirtualBoundaryOnDependentPBHit(t *testing.T) {
 
 func TestPBHitTouchesLRUAndWritesTable(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	key := amo.Line(100)
 	e.Table().Update(key, []amo.Line{1, 2, 3})
 	idx := int64(e.Table().Index(key))
@@ -214,7 +214,7 @@ func TestLRUWritebackDisabled(t *testing.T) {
 	ctx := testCtx()
 	cfg := smallConfig()
 	cfg.LRUWriteback = false
-	e := New(cfg)
+	e := must(New(cfg))
 	key := amo.Line(100)
 	e.Table().Update(key, []amo.Line{1, 2, 3})
 	e.OnAccess(prefetch.Access{
@@ -228,7 +228,7 @@ func TestLRUWritebackDisabled(t *testing.T) {
 
 func TestDeactivateReclaimsTable(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	e.Table().Update(amo.Line(5), []amo.Line{1})
 	e.Deactivate()
 	if e.Active() {
@@ -255,7 +255,7 @@ func TestDegreeLimitsPrefetches(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Degree = 2
 	cfg.TableMaxAddrs = 8
-	e := New(cfg)
+	e := must(New(cfg))
 	key := amo.Line(42)
 	e.Table().Update(key, []amo.Line{1, 2, 3, 4, 5, 6})
 	e.OnAccess(prefetch.Access{
@@ -269,7 +269,7 @@ func TestDegreeLimitsPrefetches(t *testing.T) {
 
 func TestMergedAndL2HitAccessesIgnored(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	e.OnAccess(prefetch.Access{Line: 1, Miss: true, MissMerged: true, NewEpoch: false}, ctx)
 	e.OnAccess(prefetch.Access{Line: 2, L2Hit: true}, ctx)
 	if e.Stats().Boundaries != 0 || e.Stats().Lookups != 0 {
@@ -279,7 +279,7 @@ func TestMergedAndL2HitAccessesIgnored(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	ctx := testCtx()
-	e := New(smallConfig())
+	e := must(New(smallConfig()))
 	now, inst := uint64(0), uint64(0)
 	epoch(e, ctx, &now, &inst, 10)
 	e.ResetStats()

@@ -1,0 +1,10 @@
+package core
+
+// must unwraps a constructor's (value, error) pair in tests, where the
+// configurations are valid by construction.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

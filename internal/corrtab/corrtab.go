@@ -25,9 +25,8 @@
 package corrtab
 
 import (
-	"fmt"
-
 	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
 )
 
 // Config shapes a correlation table.
@@ -42,16 +41,17 @@ type Config struct {
 	MaxAddrs int
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (c Config) Validate() error {
 	if c.Entries <= 0 || !amo.IsPow2(uint64(c.Entries)) {
-		return fmt.Errorf("corrtab: entries %d must be a positive power of two", c.Entries)
+		return ebcperr.Invalidf("corrtab: entries %d must be a positive power of two", c.Entries)
 	}
 	if c.MaxAddrs <= 0 {
-		return fmt.Errorf("corrtab: max addrs %d must be positive", c.MaxAddrs)
+		return ebcperr.Invalidf("corrtab: max addrs %d must be positive", c.MaxAddrs)
 	}
 	if c.MaxAddrs > maxAddrsLimit {
-		return fmt.Errorf("corrtab: max addrs %d exceeds limit %d", c.MaxAddrs, maxAddrsLimit)
+		return ebcperr.Invalidf("corrtab: max addrs %d exceeds limit %d", c.MaxAddrs, maxAddrsLimit)
 	}
 	return nil
 }
@@ -122,10 +122,11 @@ type Table struct {
 	stats Stats
 }
 
-// New builds a table. It panics on invalid configuration.
-func New(cfg Config) *Table {
+// New builds a table. It returns an ErrInvalidConfig-classified error if
+// the configuration fails Validate.
+func New(cfg Config) (*Table, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	const initIdx = 1024
 	return &Table{
@@ -135,7 +136,7 @@ func New(cfg Config) *Table {
 		idxKeys:  make([]uint64, initIdx),
 		idxSlots: make([]uint32, initIdx),
 		idxMask:  initIdx - 1,
-	}
+	}, nil
 }
 
 // Config returns the table's configuration.

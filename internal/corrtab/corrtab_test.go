@@ -9,7 +9,7 @@ import (
 )
 
 func table(entries, maxAddrs int) *Table {
-	return New(Config{Entries: entries, MaxAddrs: maxAddrs})
+	return must(New(Config{Entries: entries, MaxAddrs: maxAddrs}))
 }
 
 func lines(vs ...uint64) []amo.Line {
@@ -400,7 +400,7 @@ func TestDifferentialLegacyVsPaged(t *testing.T) {
 		cfg := cfg
 		for seed := int64(1); seed <= 4; seed++ {
 			rng := rand.New(rand.NewSource(seed * 997))
-			tb := New(cfg)
+			tb := must(New(cfg))
 			ref := newLegacy(cfg)
 			// Key space wider than the table forces tag conflicts; a
 			// handful of hot keys forces promote/merge paths.

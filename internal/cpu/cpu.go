@@ -21,6 +21,8 @@
 // misses.
 package cpu
 
+import "ebcp/internal/ebcperr"
+
 // Config parameterizes the core model.
 type Config struct {
 	// ROBSize bounds how many instructions past an epoch trigger the core
@@ -39,6 +41,21 @@ type Config struct {
 // DefaultConfig matches Section 4.4 of the paper.
 func DefaultConfig() Config {
 	return Config{ROBSize: 128, OnChipCPI: 1.0, MaxOutstanding: 32}
+}
+
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
+func (c Config) Validate() error {
+	if c.ROBSize == 0 {
+		return ebcperr.Invalidf("cpu: ROB size must be positive")
+	}
+	if c.OnChipCPI <= 0 {
+		return ebcperr.Invalidf("cpu: on-chip CPI %v must be positive", c.OnChipCPI)
+	}
+	if c.MaxOutstanding <= 0 {
+		return ebcperr.Invalidf("cpu: max outstanding misses %d must be positive", c.MaxOutstanding)
+	}
+	return nil
 }
 
 // CloseReason says which window termination condition ended an epoch.
@@ -130,12 +147,13 @@ type Model struct {
 	stats Stats
 }
 
-// New builds a core model.
-func New(cfg Config) *Model {
-	if cfg.ROBSize == 0 || cfg.OnChipCPI <= 0 || cfg.MaxOutstanding <= 0 {
-		panic("cpu: invalid config")
+// New builds a core model. It returns an ErrInvalidConfig-classified
+// error if the configuration fails Validate.
+func New(cfg Config) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	return &Model{cfg: cfg}
+	return &Model{cfg: cfg}, nil
 }
 
 // Now returns the current cycle.

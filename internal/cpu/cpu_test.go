@@ -6,7 +6,7 @@ import (
 )
 
 func model() *Model {
-	return New(Config{ROBSize: 128, OnChipCPI: 1.0, MaxOutstanding: 32})
+	return must(New(Config{ROBSize: 128, OnChipCPI: 1.0, MaxOutstanding: 32}))
 }
 
 // missAt drives the two-phase PrepareMiss/Miss protocol the way the
@@ -36,7 +36,7 @@ func TestOnChipAdvance(t *testing.T) {
 }
 
 func TestFractionalCPI(t *testing.T) {
-	m := New(Config{ROBSize: 128, OnChipCPI: 0.75, MaxOutstanding: 32})
+	m := must(New(Config{ROBSize: 128, OnChipCPI: 0.75, MaxOutstanding: 32}))
 	for i := 0; i < 1000; i++ {
 		m.Advance(1)
 	}
@@ -199,7 +199,7 @@ func TestSerializingInstruction(t *testing.T) {
 }
 
 func TestMSHRFullCloses(t *testing.T) {
-	m := New(Config{ROBSize: 1 << 20, OnChipCPI: 1.0, MaxOutstanding: 4})
+	m := must(New(Config{ROBSize: 1 << 20, OnChipCPI: 1.0, MaxOutstanding: 4}))
 	for i := 0; i < 4; i++ {
 		m.missAt(uint64(500+i), false, false, false)
 	}

@@ -1,0 +1,48 @@
+package ebcperr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestWrapClassifiesWithoutPastingSentinelText(t *testing.T) {
+	cases := []struct {
+		err      error
+		sentinel error
+		others   []error
+		want     string
+	}{
+		{Invalidf("cache: %d ways", 0), ErrInvalidConfig, []error{ErrShortTrace, ErrCancelled}, "cache: 0 ways"},
+		{Cancelledf("cell %s skipped", "x"), ErrCancelled, []error{ErrInvalidConfig, ErrShortTrace}, "cell x skipped"},
+		{Wrap(ErrShortTrace, "ended at %d", 7), ErrShortTrace, []error{ErrInvalidConfig, ErrCancelled}, "ended at 7"},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.sentinel) {
+			t.Errorf("%v: errors.Is(%v) = false", c.err, c.sentinel)
+		}
+		for _, o := range c.others {
+			if errors.Is(c.err, o) {
+				t.Errorf("%v: spuriously matches %v", c.err, o)
+			}
+		}
+		if got := c.err.Error(); got != c.want {
+			t.Errorf("Error() = %q, want %q", got, c.want)
+		}
+		// The classification is structural, not textual: the sentinel's
+		// message must not leak into the wrapped message.
+		if strings.Contains(c.err.Error(), c.sentinel.Error()) {
+			t.Errorf("%q repeats the sentinel text %q", c.err.Error(), c.sentinel.Error())
+		}
+	}
+}
+
+func TestWrapSurvivesFurtherWrapping(t *testing.T) {
+	inner := Invalidf("mem: negative latency")
+	outer := Wrap(inner, "sim: building memory: %v", inner)
+	// Wrap's sentinel chain carries the inner error, so the class is
+	// still reachable two layers up.
+	if !errors.Is(outer, ErrInvalidConfig) {
+		t.Fatalf("errors.Is through two layers = false (%v)", outer)
+	}
+}

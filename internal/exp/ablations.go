@@ -39,7 +39,7 @@ func Ablations() Experiment {
 		return runReq{
 			key:   fmt.Sprintf("abl/%s/%s", b.Name, v.label),
 			bench: b,
-			pf: func() prefetch.Prefetcher {
+			pf: func() (prefetch.Prefetcher, error) {
 				cfg := core.DefaultConfig()
 				v.mut(&cfg)
 				return core.New(cfg)
@@ -71,9 +71,9 @@ func Ablations() Experiment {
 			for _, v := range variants {
 				row := Row{Label: v.label}
 				for _, b := range s.benchmarks() {
-					base := s.baseline(b)
-					res := s.exec(ablReq(b, v))
-					row.Values = append(row.Values, 100*res.Improvement(base))
+					base, berr := s.baseline(b)
+					res, err := s.exec(ablReq(b, v))
+					row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ebcp/internal/core"
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
 	"ebcp/internal/trace"
@@ -23,11 +24,11 @@ func CMP() Experiment {
 	cells := func(b workload.Params, n int) (base, ebcp, sol cmpReq) {
 		base = cmpReq{
 			key: fmt.Sprintf("cmpbase/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(int) prefetch.Prefetcher { return prefetch.None{} },
+			pf: func(int) (prefetch.Prefetcher, error) { return prefetch.None{}, nil },
 		}
 		ebcp = cmpReq{
 			key: fmt.Sprintf("cmpebcp/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(cores int) prefetch.Prefetcher {
+			pf: func(cores int) (prefetch.Prefetcher, error) {
 				cfg := core.DefaultConfig()
 				cfg.Cores = cores
 				return core.New(cfg)
@@ -35,7 +36,7 @@ func CMP() Experiment {
 		}
 		sol = cmpReq{
 			key: fmt.Sprintf("cmpsol/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(int) prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) },
+			pf: func(int) (prefetch.Prefetcher, error) { return prefetch.NewSolihin(6, 1, 1<<20) },
 		}
 		return
 	}
@@ -66,11 +67,11 @@ func CMP() Experiment {
 				solRow := Row{Label: b.Name + ": Solihin 6,1"}
 				for _, n := range coreCounts {
 					baseReq, ebcpReq, solReq := cells(b, n)
-					base := s.execCMP(baseReq)
-					eb := s.execCMP(ebcpReq)
-					so := s.execCMP(solReq)
-					ebcpRow.Values = append(ebcpRow.Values, 100*(eb.Speedup(base)-1))
-					solRow.Values = append(solRow.Values, 100*(so.Speedup(base)-1))
+					base, berr := s.execCMP(baseReq)
+					eb, eerr := s.execCMP(ebcpReq)
+					so, serr := s.execCMP(solReq)
+					ebcpRow.Values = append(ebcpRow.Values, cellValue(100*(eb.Speedup(base)-1), berr, eerr))
+					solRow.Values = append(solRow.Values, cellValue(100*(so.Speedup(base)-1), berr, serr))
 				}
 				rep.Rows = append(rep.Rows, ebcpRow, solRow)
 			}
@@ -86,24 +87,27 @@ type cmpReq struct {
 	key   string
 	bench workload.Params
 	cores int
-	pf    func(cores int) prefetch.Prefetcher
+	pf    func(cores int) (prefetch.Prefetcher, error)
 }
 
 // execCMP returns a CMP cell's result, simulating it at most once per
-// session (single-flight, like exec).
-func (s *Session) execCMP(r cmpReq) sim.CMPResult {
-	v, st := s.cmps.do(s.ctx, r.key, func() sim.CMPResult { return s.simulateCMP(r) })
+// session (single-flight and error-memoizing, like exec).
+func (s *Session) execCMP(r cmpReq) (sim.CMPResult, error) {
+	v, st := s.cmps.do(s.ctx, r.key, func() cmpCell { return s.simulateCMP(r) })
 	switch st {
 	case runComputed:
-		s.noteRun(r.key, "IPC", v.AggregateIPC())
+		s.noteRun(r.key, "IPC", v.res.AggregateIPC(), v.err)
 	case runShared:
 		s.noteHit()
+	case runCancelled:
+		s.noteCancelled(r.key)
+		return sim.CMPResult{}, ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
 	}
-	return v
+	return v.res, v.err
 }
 
 // simulateCMP executes one CMP cell.
-func (s *Session) simulateCMP(r cmpReq) sim.CMPResult {
+func (s *Session) simulateCMP(r cmpReq) cmpCell {
 	cfg := sim.DefaultConfig()
 	cfg.Core.OnChipCPI = r.bench.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
@@ -116,7 +120,20 @@ func (s *Session) simulateCMP(r cmpReq) sim.CMPResult {
 	for i := range sources {
 		b := r.bench
 		b.Seed += int64(i) * 7919
-		sources[i] = workload.New(b)
+		src, err := workload.New(b)
+		if err != nil {
+			return cmpCell{err: err}
+		}
+		if s.opts.MaxInsts > 0 {
+			sources[i] = trace.NewLimit(src, s.opts.MaxInsts)
+		} else {
+			sources[i] = src
+		}
 	}
-	return sim.RunCMP(sources, r.pf(r.cores), cfg)
+	pf, err := r.pf(r.cores)
+	if err != nil {
+		return cmpCell{err: err}
+	}
+	res, err := sim.RunCMP(sources, pf, cfg)
+	return cmpCell{res: res, err: err}
 }

@@ -15,11 +15,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sync"
 
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
+	"ebcp/internal/trace"
 	"ebcp/internal/workload"
 )
 
@@ -30,6 +33,11 @@ type Options struct {
 	// preserve shapes, at some loss of training for the correlation
 	// prefetchers.
 	Warm, Measure uint64
+	// MaxInsts truncates every cell's trace after this many instructions
+	// (0 = unlimited). A limit below the warmup window makes every cell
+	// fail with ErrShortTrace — useful for exercising the partial-report
+	// path end-to-end.
+	MaxInsts uint64
 	// Workers bounds how many simulations the simulate phase runs
 	// concurrently (0 = runtime.NumCPU()). Results are bit-identical for
 	// any worker count; only wall-clock time changes.
@@ -54,12 +62,19 @@ type RunUpdate struct {
 	Value  float64
 	// Runs is how many simulations the session has executed so far.
 	Runs int
+	// Err is non-nil when the simulation failed (bad cell configuration
+	// or a short trace); Value is then meaningless.
+	Err error
 }
 
 // ProgressWriter adapts an io.Writer into a Progress callback printing
 // one line per completed simulation.
 func ProgressWriter(w io.Writer) func(RunUpdate) {
 	return func(u RunUpdate) {
+		if u.Err != nil {
+			fmt.Fprintf(w, "  ran %-40s failed: %v\n", u.Key, u.Err)
+			return
+		}
 		fmt.Fprintf(w, "  ran %-40s %s %.3f\n", u.Key, u.Metric, u.Value)
 	}
 }
@@ -122,14 +137,29 @@ type Session struct {
 	opts Options
 	ctx  context.Context
 
-	sims sfGroup[sim.Result]
-	cmps sfGroup[sim.CMPResult]
+	sims sfGroup[simCell]
+	cmps sfGroup[cmpCell]
 
 	statMu    sync.Mutex
 	runs      int
 	cacheHits int
+	failures  int
+	cancelled map[string]struct{}
 
 	progressMu sync.Mutex
+}
+
+// simCell and cmpCell are the memoized outcome of one grid cell: the
+// result together with the error that produced (or prevented) it, so a
+// failed cell is computed once and its error replayed to every consumer.
+type simCell struct {
+	res sim.Result
+	err error
+}
+
+type cmpCell struct {
+	res sim.CMPResult
+	err error
 }
 
 // NewSession creates a session that runs to completion.
@@ -139,8 +169,8 @@ func NewSession(opts Options) *Session {
 
 // NewSessionContext creates a session whose simulations stop when ctx is
 // cancelled: in-flight simulations finish, pending cells are skipped,
-// and reports carry zero values for cells that never ran. Err reports
-// the cancellation.
+// and reports render cells that never ran as n/a. Err reports the
+// cancellation.
 func NewSessionContext(ctx context.Context, opts Options) *Session {
 	if ctx == nil {
 		ctx = context.Background()
@@ -164,8 +194,19 @@ func (s *Session) CacheHits() int {
 }
 
 // Err returns the session context's cancellation error, if any. A
-// non-nil Err means reports collected from this session are partial.
+// non-nil Err means reports collected from this session are partial
+// (their unsimulated cells render as n/a).
 func (s *Session) Err() error { return s.ctx.Err() }
+
+// Failures returns how many executed simulations ended in an error
+// (each failed cell is counted once, like Runs). Cells skipped by
+// cancellation count too, deduplicated by key, because the simulate and
+// collect phases may both request the same unrunnable cell.
+func (s *Session) Failures() int {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.failures + len(s.cancelled)
+}
 
 // workers returns the effective simulate-phase pool size.
 func (s *Session) workers() int {
@@ -178,17 +219,32 @@ func (s *Session) workers() int {
 // memoLen reports how many results the session has memoized (test hook).
 func (s *Session) memoLen() int { return s.sims.len() + s.cmps.len() }
 
-// noteRun records one executed simulation and emits progress.
-func (s *Session) noteRun(key, metric string, value float64) {
+// noteRun records one executed simulation (failed or not) and emits
+// progress.
+func (s *Session) noteRun(key, metric string, value float64, err error) {
 	s.statMu.Lock()
 	s.runs++
+	if err != nil {
+		s.failures++
+	}
 	n := s.runs
 	s.statMu.Unlock()
 	if s.opts.Progress != nil {
 		s.progressMu.Lock()
-		s.opts.Progress(RunUpdate{Key: key, Metric: metric, Value: value, Runs: n})
+		s.opts.Progress(RunUpdate{Key: key, Metric: metric, Value: value, Runs: n, Err: err})
 		s.progressMu.Unlock()
 	}
+}
+
+// noteCancelled records a cell that was skipped because the session's
+// context was cancelled before it could start.
+func (s *Session) noteCancelled(key string) {
+	s.statMu.Lock()
+	if s.cancelled == nil {
+		s.cancelled = make(map[string]struct{})
+	}
+	s.cancelled[key] = struct{}{}
+	s.statMu.Unlock()
 }
 
 // noteHit records one memo/in-flight hit.
@@ -206,34 +262,51 @@ func (s *Session) noteHit() {
 type runReq struct {
 	key   string
 	bench workload.Params
-	pf    func() prefetch.Prefetcher
+	pf    func() (prefetch.Prefetcher, error)
 	mut   func(*sim.Config)
 }
 
 // exec returns a cell's result, simulating it at most once per session.
-// Under a cancelled context, cells that never ran return the zero
-// Result (and are not memoized, so a later un-cancelled session state
-// is not poisoned).
-func (s *Session) exec(r runReq) sim.Result {
-	v, st := s.sims.do(s.ctx, r.key, func() sim.Result { return s.simulate(r) })
+// A failed cell's error is memoized with it and replayed to every
+// consumer. Under a cancelled context, cells that never ran return an
+// ErrCancelled-classified error (and are not memoized, so a later
+// un-cancelled session state is not poisoned).
+func (s *Session) exec(r runReq) (sim.Result, error) {
+	v, st := s.sims.do(s.ctx, r.key, func() simCell { return s.simulate(r) })
 	switch st {
 	case runComputed:
-		s.noteRun(r.key, "CPI", v.CPI())
+		s.noteRun(r.key, "CPI", v.res.CPI(), v.err)
 	case runShared:
 		s.noteHit()
+	case runCancelled:
+		s.noteCancelled(r.key)
+		return sim.Result{}, ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
 	}
-	return v
+	return v.res, v.err
 }
 
 // simulate executes one cell.
-func (s *Session) simulate(r runReq) sim.Result {
+func (s *Session) simulate(r runReq) simCell {
 	cfg := sim.DefaultConfig()
 	cfg.Core.OnChipCPI = r.bench.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = s.opts.windows()
 	if r.mut != nil {
 		r.mut(&cfg)
 	}
-	return sim.Run(workload.New(r.bench), r.pf(), cfg)
+	gen, err := workload.New(r.bench)
+	if err != nil {
+		return simCell{err: err}
+	}
+	var src trace.Source = gen
+	if s.opts.MaxInsts > 0 {
+		src = trace.NewLimit(gen, s.opts.MaxInsts)
+	}
+	pf, err := r.pf()
+	if err != nil {
+		return simCell{err: err}
+	}
+	res, err := sim.Run(src, pf, cfg)
+	return simCell{res: res, err: err}
 }
 
 // baselineReq is the no-prefetching cell for a benchmark.
@@ -241,13 +314,25 @@ func baselineReq(bench workload.Params) runReq {
 	return runReq{
 		key:   "base/" + bench.Name,
 		bench: bench,
-		pf:    func() prefetch.Prefetcher { return prefetch.None{} },
+		pf:    func() (prefetch.Prefetcher, error) { return prefetch.None{}, nil },
 	}
 }
 
 // baseline returns the no-prefetching run for a benchmark.
-func (s *Session) baseline(bench workload.Params) sim.Result {
+func (s *Session) baseline(bench workload.Params) (sim.Result, error) {
 	return s.exec(baselineReq(bench))
+}
+
+// cellValue folds a computed metric and the errors of the runs behind it
+// into one render-layer value: any error yields NaN, which the render
+// layer prints as "n/a" and counts in the report's footnote.
+func cellValue(v float64, errs ...error) float64 {
+	for _, err := range errs {
+		if err != nil {
+			return math.NaN()
+		}
+	}
+	return v
 }
 
 // benchmarks returns the session's workload set.

@@ -264,9 +264,9 @@ func TestReportRenderAndValue(t *testing.T) {
 func TestSessionMemoization(t *testing.T) {
 	s := NewSession(Options{Warm: 1e6, Measure: 1e6})
 	b := workload.SPECjbb2005()
-	_ = s.baseline(b)
+	_, _ = s.baseline(b)
 	runs := s.Runs()
-	_ = s.baseline(b)
+	_, _ = s.baseline(b)
 	if s.Runs() != runs {
 		t.Error("baseline should be memoized")
 	}

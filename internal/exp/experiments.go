@@ -36,7 +36,7 @@ func ebcpReq(bench workload.Params, degree int) runReq {
 	return runReq{
 		key:   fmt.Sprintf("ebcp-ideal/%s/d%d", bench.Name, degree),
 		bench: bench,
-		pf:    func() prefetch.Prefetcher { return core.New(idealizedEBCP(degree)) },
+		pf:    func() (prefetch.Prefetcher, error) { return core.New(idealizedEBCP(degree)) },
 		mut:   bigPB,
 	}
 }
@@ -82,11 +82,11 @@ func Table1() Experiment {
 			rows[2].Label = "L2 inst miss rate"
 			rows[3].Label = "L2 load miss rate"
 			for _, b := range s.benchmarks() {
-				r := s.baseline(b)
-				rows[0].Values = append(rows[0].Values, r.CPI())
-				rows[1].Values = append(rows[1].Values, r.EPKI())
-				rows[2].Values = append(rows[2].Values, r.IFetchMPKI())
-				rows[3].Values = append(rows[3].Values, r.LoadMPKI())
+				r, err := s.baseline(b)
+				rows[0].Values = append(rows[0].Values, cellValue(r.CPI(), err))
+				rows[1].Values = append(rows[1].Values, cellValue(r.EPKI(), err))
+				rows[2].Values = append(rows[2].Values, cellValue(r.IFetchMPKI(), err))
+				rows[3].Values = append(rows[3].Values, cellValue(r.LoadMPKI(), err))
 			}
 			rep.Rows = rows
 			return rep
@@ -120,11 +120,11 @@ func Fig4() Experiment {
 			}
 			s.ensure(degreeSweepPlan(s))
 			for _, b := range s.benchmarks() {
-				base := s.baseline(b)
+				base, berr := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, d := range degreeSweep {
-					res := s.exec(ebcpReq(b, d))
-					row.Values = append(row.Values, 100*res.Improvement(base))
+					res, err := s.exec(ebcpReq(b, d))
+					row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}
@@ -159,19 +159,19 @@ func Fig5() Experiment {
 			}
 			s.ensure(degreeSweepPlan(s))
 			for _, b := range s.benchmarks() {
-				base := s.baseline(b)
+				base, berr := s.baseline(b)
 				epi := Row{Label: b.Name + ": EPI reduction %"}
 				cov := Row{Label: b.Name + ": coverage %"}
 				acc := Row{Label: b.Name + ": accuracy %"}
 				imiss := Row{Label: b.Name + ": inst MPKI"}
 				lmiss := Row{Label: b.Name + ": load MPKI"}
 				for _, d := range degreeSweep {
-					res := s.exec(ebcpReq(b, d))
-					epi.Values = append(epi.Values, 100*res.EPIReduction(base))
-					cov.Values = append(cov.Values, 100*res.Coverage())
-					acc.Values = append(acc.Values, 100*res.Accuracy())
-					imiss.Values = append(imiss.Values, res.IFetchMPKI())
-					lmiss.Values = append(lmiss.Values, res.LoadMPKI())
+					res, err := s.exec(ebcpReq(b, d))
+					epi.Values = append(epi.Values, cellValue(100*res.EPIReduction(base), berr, err))
+					cov.Values = append(cov.Values, cellValue(100*res.Coverage(), err))
+					acc.Values = append(acc.Values, cellValue(100*res.Accuracy(), err))
+					imiss.Values = append(imiss.Values, cellValue(res.IFetchMPKI(), err))
+					lmiss.Values = append(lmiss.Values, cellValue(res.LoadMPKI(), err))
 				}
 				rep.Rows = append(rep.Rows, epi, cov, acc, imiss, lmiss)
 			}
@@ -185,7 +185,7 @@ func fig6Req(bench workload.Params, entries int) runReq {
 	return runReq{
 		key:   fmt.Sprintf("fig6/%s/%d", bench.Name, entries),
 		bench: bench,
-		pf: func() prefetch.Prefetcher {
+		pf: func() (prefetch.Prefetcher, error) {
 			cfg := idealizedEBCP(8)
 			cfg.TableEntries = entries
 			return core.New(cfg)
@@ -219,11 +219,11 @@ func Fig6() Experiment {
 			}
 			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
-				base := s.baseline(b)
+				base, berr := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, entries := range sizes {
-					res := s.exec(fig6Req(b, entries))
-					row.Values = append(row.Values, 100*res.Improvement(base))
+					res, err := s.exec(fig6Req(b, entries))
+					row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}
@@ -237,7 +237,7 @@ func fig7Req(bench workload.Params, n int) runReq {
 	return runReq{
 		key:   fmt.Sprintf("fig7/%s/%d", bench.Name, n),
 		bench: bench,
-		pf: func() prefetch.Prefetcher {
+		pf: func() (prefetch.Prefetcher, error) {
 			return core.New(core.DefaultConfig())
 		},
 		mut: func(cfg *sim.Config) { cfg.PBEntries = n },
@@ -276,11 +276,11 @@ func Fig7() Experiment {
 			}
 			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
-				base := s.baseline(b)
+				base, berr := s.baseline(b)
 				row := Row{Label: b.Name}
 				for _, pb := range sizes {
-					res := s.exec(fig7Req(b, pb))
-					row.Values = append(row.Values, 100*res.Improvement(base))
+					res, err := s.exec(fig7Req(b, pb))
+					row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}
@@ -307,7 +307,7 @@ func fig8Req(bench workload.Params, band int, degree int) runReq {
 	return runReq{
 		key:   fmt.Sprintf("fig8/%s/%s/d%d", bench.Name, bd.label, degree),
 		bench: bench,
-		pf: func() prefetch.Prefetcher {
+		pf: func() (prefetch.Prefetcher, error) {
 			return core.New(idealizedEBCP(degree))
 		},
 		mut: func(cfg *sim.Config) {
@@ -344,12 +344,12 @@ func Fig8() Experiment {
 			}
 			s.ensure(reqs)
 			for _, b := range s.benchmarks() {
-				base := s.baseline(b) // the default 9.6GB/s machine, as in the paper
+				base, berr := s.baseline(b) // the default 9.6GB/s machine, as in the paper
 				for band := range fig8Bands {
 					row := Row{Label: fmt.Sprintf("%s @ %s", b.Name, fig8Bands[band].label)}
 					for _, d := range fig8Degrees {
-						res := s.exec(fig8Req(b, band, d))
-						row.Values = append(row.Values, 100*res.Improvement(base))
+						res, err := s.exec(fig8Req(b, band, d))
+						row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 					}
 					rep.Rows = append(rep.Rows, row)
 				}
@@ -362,7 +362,7 @@ func Fig8() Experiment {
 // fig9Prefetchers builds the Section 5.3 comparison set at degree 6.
 func fig9Prefetchers() []struct {
 	name  string
-	build func() prefetch.Prefetcher
+	build func() (prefetch.Prefetcher, error)
 } {
 	ebcpCfg := core.DefaultConfig()
 	ebcpCfg.Degree = 6
@@ -371,23 +371,23 @@ func fig9Prefetchers() []struct {
 	minusCfg.Minus = true
 	return []struct {
 		name  string
-		build func() prefetch.Prefetcher
+		build func() (prefetch.Prefetcher, error)
 	}{
-		{"GHB small", func() prefetch.Prefetcher { return prefetch.GHBSmall(6) }},
-		{"GHB large", func() prefetch.Prefetcher { return prefetch.GHBLarge(6) }},
-		{"TCP small", func() prefetch.Prefetcher { return prefetch.TCPSmall(6) }},
-		{"TCP large", func() prefetch.Prefetcher { return prefetch.TCPLarge(6) }},
-		{"stream", func() prefetch.Prefetcher { return prefetch.NewStream(32, 6) }},
-		{"SMS", func() prefetch.Prefetcher { return prefetch.NewSMS() }},
-		{"Solihin 3,2", func() prefetch.Prefetcher { return prefetch.NewSolihin(3, 2, 1<<20) }},
-		{"Solihin 6,1", func() prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) }},
-		{"EBCP minus", func() prefetch.Prefetcher { return core.New(minusCfg) }},
-		{"EBCP", func() prefetch.Prefetcher { return core.New(ebcpCfg) }},
+		{"GHB small", func() (prefetch.Prefetcher, error) { return prefetch.GHBSmall(6) }},
+		{"GHB large", func() (prefetch.Prefetcher, error) { return prefetch.GHBLarge(6) }},
+		{"TCP small", func() (prefetch.Prefetcher, error) { return prefetch.TCPSmall(6) }},
+		{"TCP large", func() (prefetch.Prefetcher, error) { return prefetch.TCPLarge(6) }},
+		{"stream", func() (prefetch.Prefetcher, error) { return prefetch.NewStream(32, 6) }},
+		{"SMS", func() (prefetch.Prefetcher, error) { return prefetch.NewSMS(), nil }},
+		{"Solihin 3,2", func() (prefetch.Prefetcher, error) { return prefetch.NewSolihin(3, 2, 1<<20) }},
+		{"Solihin 6,1", func() (prefetch.Prefetcher, error) { return prefetch.NewSolihin(6, 1, 1<<20) }},
+		{"EBCP minus", func() (prefetch.Prefetcher, error) { return core.New(minusCfg) }},
+		{"EBCP", func() (prefetch.Prefetcher, error) { return core.New(ebcpCfg) }},
 	}
 }
 
 // fig9Req is one comparison cell.
-func fig9Req(bench workload.Params, name string, build func() prefetch.Prefetcher) runReq {
+func fig9Req(bench workload.Params, name string, build func() (prefetch.Prefetcher, error)) runReq {
 	return runReq{
 		key:   fmt.Sprintf("fig9/%s/%s", bench.Name, name),
 		bench: bench,
@@ -428,9 +428,9 @@ func Fig9() Experiment {
 			for _, pf := range pfs {
 				row := Row{Label: pf.name}
 				for _, b := range s.benchmarks() {
-					base := s.baseline(b)
-					res := s.exec(fig9Req(b, pf.name, pf.build))
-					row.Values = append(row.Values, 100*res.Improvement(base))
+					base, berr := s.baseline(b)
+					res, err := s.exec(fig9Req(b, pf.name, pf.build))
+					row.Values = append(row.Values, cellValue(100*res.Improvement(base), berr, err))
 				}
 				rep.Rows = append(rep.Rows, row)
 			}

@@ -9,6 +9,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -32,6 +33,26 @@ type Report struct {
 	Reference []Row
 	Notes     []string
 }
+
+// NACells counts the measured cells that could not be produced: failed
+// or cancelled simulations leave NaN in the row values, which every
+// renderer prints as "n/a". Valid reports return 0 and render exactly as
+// they did before errors were representable.
+func (r *Report) NACells() int {
+	n := 0
+	for _, row := range r.Rows {
+		for _, v := range row.Values {
+			if math.IsNaN(v) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// naNote is the footnote appended to a report that contains unproduced
+// cells.
+const naNote = "n/a cells were not simulated (failed or cancelled); see stderr for the reason"
 
 // refFor finds the paper's row for a label.
 func (r *Report) refFor(label string) *Row {
@@ -72,7 +93,11 @@ func (r *Report) Render(w io.Writer) {
 	for _, row := range r.Rows {
 		fmt.Fprintf(w, "  %-*s", labelW, row.Label)
 		for _, v := range row.Values {
-			fmt.Fprintf(w, "%*.2f", colW, v)
+			if math.IsNaN(v) {
+				fmt.Fprintf(w, "%*s", colW, "n/a")
+			} else {
+				fmt.Fprintf(w, "%*.2f", colW, v)
+			}
 		}
 		fmt.Fprintln(w)
 		if ref := r.refFor(row.Label); ref != nil {
@@ -85,6 +110,9 @@ func (r *Report) Render(w io.Writer) {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if r.NACells() > 0 {
+		fmt.Fprintf(w, "  note: %s\n", naNote)
 	}
 }
 
@@ -129,7 +157,11 @@ func (r *Report) RenderCSV(w io.Writer) error {
 		rec := make([]string, 0, len(row.Values)+1)
 		rec = append(rec, prefix+row.Label)
 		for _, v := range row.Values {
-			rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+			if math.IsNaN(v) {
+				rec = append(rec, "n/a")
+			} else {
+				rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+			}
 		}
 		return cw.Write(rec)
 	}
@@ -167,7 +199,11 @@ func (r *Report) RenderMarkdown(w io.Writer) error {
 	for _, row := range r.Rows {
 		fmt.Fprintf(&b, "| %s |", row.Label)
 		for _, v := range row.Values {
-			fmt.Fprintf(&b, " %.2f |", v)
+			if math.IsNaN(v) {
+				b.WriteString(" n/a |")
+			} else {
+				fmt.Fprintf(&b, " %.2f |", v)
+			}
 		}
 		b.WriteString("\n")
 		if ref := r.refFor(row.Label); ref != nil {
@@ -180,6 +216,9 @@ func (r *Report) RenderMarkdown(w io.Writer) error {
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "\n> %s\n", n)
+	}
+	if r.NACells() > 0 {
+		fmt.Fprintf(&b, "\n> %s\n", naNote)
 	}
 	b.WriteString("\n")
 	_, err := io.WriteString(w, b.String())

@@ -27,7 +27,7 @@ type flight[V any] struct {
 	val  V
 }
 
-// runStatus says how do satisfied a request.
+// runStatus says how a request was satisfied.
 type runStatus int
 
 const (

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
 )
 
 // Priority orders request classes from most to least urgent. Demand
@@ -83,16 +84,17 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (c Config) Validate() error {
 	if c.UnloadedLatency == 0 {
-		return fmt.Errorf("mem: unloaded latency must be positive")
+		return ebcperr.Invalidf("mem: unloaded latency must be positive")
 	}
 	if c.CoreGHz <= 0 || c.ReadGBps <= 0 || c.WriteGBps <= 0 {
-		return fmt.Errorf("mem: clock and bandwidths must be positive")
+		return ebcperr.Invalidf("mem: clock %v GHz and bandwidths %v/%v GB/s must be positive", c.CoreGHz, c.ReadGBps, c.WriteGBps)
 	}
 	if c.LowPriorityBacklog <= 0 {
-		return fmt.Errorf("mem: low-priority backlog bound must be positive")
+		return ebcperr.Invalidf("mem: low-priority backlog bound %d must be positive", c.LowPriorityBacklog)
 	}
 	return nil
 }
@@ -167,16 +169,17 @@ type System struct {
 	stats Stats
 }
 
-// New builds a memory system. It panics on invalid configuration.
-func New(cfg Config) *System {
+// New builds a memory system. It returns an ErrInvalidConfig-classified
+// error if the configuration fails Validate.
+func New(cfg Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	return &System{
 		cfg:      cfg,
 		readOcc:  lineOccupancy(cfg.ReadGBps, cfg.CoreGHz),
 		writeOcc: lineOccupancy(cfg.WriteGBps, cfg.CoreGHz),
-	}
+	}, nil
 }
 
 // Config returns the system's configuration.

@@ -5,7 +5,7 @@ import (
 	"testing/quick"
 )
 
-func defaultSystem() *System { return New(DefaultConfig()) }
+func defaultSystem() *System { return must(New(DefaultConfig())) }
 
 func TestOccupancyDerivation(t *testing.T) {
 	m := defaultSystem()
@@ -20,7 +20,7 @@ func TestOccupancyDerivation(t *testing.T) {
 
 	cfg := DefaultConfig()
 	cfg.ReadGBps = 3.2
-	low := New(cfg)
+	low := must(New(cfg))
 	if low.ReadOccupancy() != 60 {
 		t.Errorf("3.2GB/s ReadOccupancy = %d, want 60", low.ReadOccupancy())
 	}
@@ -74,7 +74,7 @@ func TestLowPrioritySerializesBehindDemand(t *testing.T) {
 func TestLowPriorityDropOnBacklog(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LowPriorityBacklog = 4
-	m := New(cfg)
+	m := must(New(cfg))
 	accepted := 0
 	for i := 0; i < 50; i++ {
 		if _, ok := m.Read(0, PrefetchData); ok {
@@ -99,7 +99,7 @@ func TestLowPriorityDropOnBacklog(t *testing.T) {
 func TestWritePostedAndDropped(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.LowPriorityBacklog = 2
-	m := New(cfg)
+	m := must(New(cfg))
 	if !m.Write(0, Demand) {
 		t.Fatal("demand write must be accepted")
 	}
@@ -241,7 +241,7 @@ func TestPerClassBacklogIndependence(t *testing.T) {
 	// Filling the prefetch queue must not cause table-read drops.
 	cfg := DefaultConfig()
 	cfg.LowPriorityBacklog = 4
-	m := New(cfg)
+	m := must(New(cfg))
 	for i := 0; i < 50; i++ {
 		m.Read(0, PrefetchData)
 	}

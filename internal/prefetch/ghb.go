@@ -1,6 +1,9 @@
 package prefetch
 
-import "ebcp/internal/amo"
+import (
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+)
 
 // GHB is the Global History Buffer prefetcher of Nesbit and Smith in its
 // PC/DC (program counter indexed, delta correlating) variant — the scheme
@@ -69,10 +72,11 @@ type GHB struct {
 const ifetchPC = amo.PC(1)
 
 // NewGHB builds a GHB PC/DC prefetcher with the given index-table and
-// history-buffer sizes and prefetch degree.
-func NewGHB(label string, indexEntries, bufferEntries, degree int) *GHB {
+// history-buffer sizes and prefetch degree. A bad shape returns an
+// ErrInvalidConfig-classified error.
+func NewGHB(label string, indexEntries, bufferEntries, degree int) (*GHB, error) {
 	if indexEntries <= 0 || bufferEntries <= 0 || degree <= 0 || degree > 1<<15 {
-		panic("prefetch: invalid GHB shape")
+		return nil, ebcperr.Invalidf("prefetch: invalid GHB shape (index %d, buffer %d, degree %d)", indexEntries, bufferEntries, degree)
 	}
 	return &GHB{
 		label:     label,
@@ -91,14 +95,14 @@ func NewGHB(label string, indexEntries, bufferEntries, degree int) *GHB {
 		pcRecLen:  make([]uint16, indexEntries),
 		pcRecent:  make([]uint64, indexEntries*degree),
 		pcIdx:     newOAMap(indexEntries),
-	}
+	}, nil
 }
 
 // GHBSmall is the paper's 256KB configuration at the comparison degree.
-func GHBSmall(degree int) *GHB { return NewGHB("GHB small", 16<<10, 16<<10, degree) }
+func GHBSmall(degree int) (*GHB, error) { return NewGHB("GHB small", 16<<10, 16<<10, degree) }
 
 // GHBLarge is the paper's 4MB configuration at the comparison degree.
-func GHBLarge(degree int) *GHB { return NewGHB("GHB large", 256<<10, 256<<10, degree) }
+func GHBLarge(degree int) (*GHB, error) { return NewGHB("GHB large", 256<<10, 256<<10, degree) }
 
 // Name implements Prefetcher.
 func (g *GHB) Name() string { return g.label }

@@ -1,0 +1,56 @@
+package prefetch
+
+import (
+	"errors"
+	"testing"
+
+	"ebcp/internal/ebcperr"
+)
+
+func checkInvalid(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: panicked (%v), want typed error", name, r)
+			}
+		}()
+		return f()
+	}()
+	switch {
+	case err == nil:
+		t.Errorf("%s: accepted, want error", name)
+	case !errors.Is(err, ebcperr.ErrInvalidConfig):
+		t.Errorf("%s: error %q not classified ErrInvalidConfig", name, err)
+	case len(err.Error()) < 10:
+		t.Errorf("%s: message %q not descriptive", name, err)
+	}
+}
+
+func TestNegativeConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"GHB zero index", func() error { _, err := NewGHB("g", 0, 1024, 6); return err }},
+		{"GHB zero buffer", func() error { _, err := NewGHB("g", 1024, 0, 6); return err }},
+		{"GHB negative degree", func() error { _, err := NewGHB("g", 1024, 1024, -1); return err }},
+		{"TCP non-pow2 THT", func() error { _, err := NewTCP("t", 100, 2048, 16, 6); return err }},
+		{"TCP zero PHT ways", func() error { _, err := NewTCP("t", 128, 2048, 0, 6); return err }},
+		{"TCP history too deep", func() error {
+			tc, err := NewTCP("t", 128, 2048, 16, 6)
+			if err != nil {
+				return err
+			}
+			_, err = tc.SetHistoryLength(3)
+			return err
+		}},
+		{"stream zero streams", func() error { _, err := NewStream(0, 6); return err }},
+		{"stream zero degree", func() error { _, err := NewStream(32, 0); return err }},
+		{"Solihin zero depth", func() error { _, err := NewSolihin(0, 2, 1<<20); return err }},
+		{"Solihin bad table", func() error { _, err := NewSolihin(3, 2, 3000); return err }},
+	}
+	for _, c := range cases {
+		checkInvalid(t, c.name, c.f)
+	}
+}

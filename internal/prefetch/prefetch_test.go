@@ -10,9 +10,9 @@ import (
 
 // testContext builds a context with a big prefetch buffer and an empty L2.
 func testContext() *Context {
-	m := mem.New(mem.DefaultConfig())
-	l2 := cache.New(cache.Config{Name: "L2", SizeBytes: 2 << 20, Ways: 4, HitLatency: 20})
-	pb := cache.NewPrefetchBuffer(1024, 4)
+	m := must(mem.New(mem.DefaultConfig()))
+	l2 := must(cache.New(cache.Config{Name: "L2", SizeBytes: 2 << 20, Ways: 4, HitLatency: 20}))
+	pb := must(cache.NewPrefetchBuffer(1024, 4))
 	return NewContext(m, pb, l2)
 }
 
@@ -65,7 +65,7 @@ func TestContextTableTraffic(t *testing.T) {
 
 func TestStreamDetectsUnitStride(t *testing.T) {
 	ctx := testContext()
-	s := NewStream(32, 6)
+	s := must(NewStream(32, 6))
 	base := amo.Line(1 << 20)
 	// Three consecutive misses confirm the stream and trigger prefetches.
 	for i := 0; i < 5; i++ {
@@ -81,7 +81,7 @@ func TestStreamDetectsUnitStride(t *testing.T) {
 func TestStreamDetectsNegativeAndNonUnitStride(t *testing.T) {
 	for _, stride := range []int64{-1, 3, -2, 4} {
 		ctx := testContext()
-		s := NewStream(32, 4)
+		s := must(NewStream(32, 4))
 		base := amo.Line(1 << 21)
 		for i := 0; i < 5; i++ {
 			feed(s, ctx, uint64(i*100), base.Add(stride*int64(i)), 0x40, false)
@@ -97,7 +97,7 @@ func TestStreamDetectsNegativeAndNonUnitStride(t *testing.T) {
 
 func TestStreamIgnoresRandom(t *testing.T) {
 	ctx := testContext()
-	s := NewStream(32, 6)
+	s := must(NewStream(32, 6))
 	// Far-apart random lines never confirm a stream.
 	lines := []amo.Line{1000, 90000, 5000, 777777, 123, 400000, 2222, 999999}
 	for i, l := range lines {
@@ -110,7 +110,7 @@ func TestStreamIgnoresRandom(t *testing.T) {
 
 func TestStreamIgnoresIFetchAndHits(t *testing.T) {
 	ctx := testContext()
-	s := NewStream(32, 6)
+	s := must(NewStream(32, 6))
 	base := amo.Line(1 << 20)
 	for i := 0; i < 6; i++ {
 		s.OnAccess(Access{Line: base.Add(int64(i)), PC: 0x40, IFetch: true, Miss: true}, ctx)
@@ -123,7 +123,7 @@ func TestStreamIgnoresIFetchAndHits(t *testing.T) {
 
 func TestStreamCapacityLRU(t *testing.T) {
 	ctx := testContext()
-	s := NewStream(2, 4) // only two streams
+	s := must(NewStream(2, 4)) // only two streams
 	// Interleave three streams; at most two can be live, but the test just
 	// checks nothing panics and some prefetching still happens for the two
 	// most recent.
@@ -141,7 +141,7 @@ func TestStreamCapacityLRU(t *testing.T) {
 // ghbStream replays a recurring miss sequence and checks GHB learns it.
 func TestGHBLearnsRecurringDeltaSequence(t *testing.T) {
 	ctx := testContext()
-	g := GHBLarge(4)
+	g := must(GHBLarge(4))
 	pc := amo.PC(0x80)
 	// A fixed sequence of lines with irregular deltas, repeated.
 	seq := []amo.Line{1000, 1007, 1003, 1050, 1020, 1090, 1060, 1130}
@@ -161,7 +161,7 @@ func TestGHBLearnsRecurringDeltaSequence(t *testing.T) {
 
 func TestGHBPrefetchesCorrectSuccessors(t *testing.T) {
 	ctx := testContext()
-	g := GHBLarge(3)
+	g := must(GHBLarge(3))
 	pc := amo.PC(0x80)
 	seq := []amo.Line{2000, 2013, 2002, 2040, 2019, 2077}
 	now := uint64(0)
@@ -187,7 +187,7 @@ func TestGHBPrefetchesCorrectSuccessors(t *testing.T) {
 
 func TestGHBSmallCapacityThrashes(t *testing.T) {
 	ctxS, ctxL := testContext(), testContext()
-	small, large := GHBSmall(4), GHBLarge(4)
+	small, large := must(GHBSmall(4)), must(GHBLarge(4))
 	pc := amo.PC(0x80)
 	// A recurring sequence of *irregular* deltas much longer than the
 	// small GHB (16K entries) but within the large one (256K).
@@ -219,7 +219,7 @@ func TestGHBSmallCapacityThrashes(t *testing.T) {
 
 func TestTCPLearnsPerSetTagSequence(t *testing.T) {
 	ctx := testContext()
-	tc := TCPLarge(2)
+	tc := must(TCPLarge(2))
 	// Lines in the same THT set (same low 7 bits of line number) with a
 	// recurring tag sequence.
 	mk := func(tag uint64) amo.Line { return amo.Line(tag<<7 | 5) }
@@ -285,7 +285,7 @@ func TestSMSIgnoresIFetch(t *testing.T) {
 
 func TestSolihinLearnsSuccessors(t *testing.T) {
 	ctx := testContext()
-	s := NewSolihin(6, 1, 1<<16)
+	s := must(NewSolihin(6, 1, 1<<16))
 	seq := []amo.Line{100, 987, 4022, 777, 1234, 9, 42, 10000}
 	now := uint64(0)
 	for lap := 0; lap < 2; lap++ {
@@ -322,7 +322,7 @@ func TestSolihinWidthVsDepthShape(t *testing.T) {
 	seq := []amo.Line{10, 20, 30, 40, 50, 60, 70, 80}
 	train := func(depth, width int) []amo.Line {
 		ctx := testContext()
-		s := NewSolihin(depth, width, 1<<16)
+		s := must(NewSolihin(depth, width, 1<<16))
 		now := uint64(0)
 		for _, l := range seq {
 			feed(s, ctx, now, l, 0x40, false)

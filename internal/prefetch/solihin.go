@@ -5,6 +5,7 @@ import (
 
 	"ebcp/internal/amo"
 	"ebcp/internal/corrtab"
+	"ebcp/internal/ebcperr"
 )
 
 // Solihin is the memory-side correlation prefetcher of Solihin, Lee and
@@ -39,22 +40,27 @@ type Solihin struct {
 // table entries. Each table entry stores depth*width addresses with LRU
 // replacement (the flat-LRU realization of the level structure: Width
 // generations of the Depth-deep successor window coexist in the entry).
-func NewSolihin(depth, width, tableEntries int) *Solihin {
+// A bad shape returns an ErrInvalidConfig-classified error.
+func NewSolihin(depth, width, tableEntries int) (*Solihin, error) {
 	if depth <= 0 || width <= 0 {
-		panic("prefetch: Solihin depth and width must be positive")
+		return nil, ebcperr.Invalidf("prefetch: Solihin depth %d and width %d must be positive", depth, width)
 	}
 	maxIssue := depth * width
 	if maxIssue > 6 {
 		maxIssue = 6 // the paper's comparison issues at most six
+	}
+	table, err := corrtab.New(corrtab.Config{Entries: tableEntries, MaxAddrs: depth * width})
+	if err != nil {
+		return nil, err
 	}
 	return &Solihin{
 		label:    fmt.Sprintf("Solihin %d,%d", depth, width),
 		depth:    depth,
 		width:    width,
 		maxIssue: maxIssue,
-		table:    corrtab.New(corrtab.Config{Entries: tableEntries, MaxAddrs: depth * width}),
+		table:    table,
 		history:  make([]amo.Line, 0, depth),
-	}
+	}, nil
 }
 
 // Name implements Prefetcher.

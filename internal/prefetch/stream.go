@@ -1,6 +1,9 @@
 package prefetch
 
-import "ebcp/internal/amo"
+import (
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+)
 
 // Stream is the hardware stream prefetcher of Section 5.3: the kind
 // implemented in the IBM Power 5, Fujitsu SPARC64-VI, AMD Opteron and
@@ -33,17 +36,18 @@ type streamEntry struct {
 	lru       uint64
 }
 
-// NewStream builds the paper's stream prefetcher configuration.
-func NewStream(maxStreams, degree int) *Stream {
+// NewStream builds the paper's stream prefetcher configuration. A bad
+// shape returns an ErrInvalidConfig-classified error.
+func NewStream(maxStreams, degree int) (*Stream, error) {
 	if maxStreams <= 0 || degree <= 0 {
-		panic("prefetch: stream prefetcher needs positive streams and degree")
+		return nil, ebcperr.Invalidf("prefetch: stream prefetcher needs positive streams and degree (got %d/%d)", maxStreams, degree)
 	}
 	return &Stream{
 		MaxStreams: maxStreams,
 		Degree:     degree,
 		MaxStride:  64, // within a 4KB page either direction
 		streams:    make([]streamEntry, maxStreams),
-	}
+	}, nil
 }
 
 // Name implements Prefetcher.

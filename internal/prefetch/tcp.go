@@ -1,6 +1,9 @@
 package prefetch
 
-import "ebcp/internal/amo"
+import (
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+)
 
 // TCP is the Tag Correlating Prefetcher of Hu, Martonosi and Kaxiras
 // (HPCA 2003), the paper's second comparison point. Instead of
@@ -96,13 +99,14 @@ place:
 }
 
 // NewTCP builds a tag correlating prefetcher. thtSets should match the L1
-// data cache set count (128 in the default configuration).
-func NewTCP(label string, thtSets, phtSets, phtWays, degree int) *TCP {
+// data cache set count (128 in the default configuration). A bad shape
+// returns an ErrInvalidConfig-classified error.
+func NewTCP(label string, thtSets, phtSets, phtWays, degree int) (*TCP, error) {
 	if thtSets <= 0 || !amo.IsPow2(uint64(thtSets)) {
-		panic("prefetch: TCP THT sets must be a power of two")
+		return nil, ebcperr.Invalidf("prefetch: TCP THT sets %d must be a positive power of two", thtSets)
 	}
 	if phtSets <= 0 || phtWays <= 0 || degree <= 0 {
-		panic("prefetch: invalid TCP shape")
+		return nil, ebcperr.Invalidf("prefetch: invalid TCP shape (PHT %dx%d, degree %d)", phtSets, phtWays, degree)
 	}
 	return &TCP{
 		label:   label,
@@ -111,24 +115,26 @@ func NewTCP(label string, thtSets, phtSets, phtWays, degree int) *TCP {
 		setBits: amo.Log2(uint64(thtSets)),
 		tht:     make([]thtEntry, thtSets),
 		pht:     newPHT(phtSets, phtWays),
-	}
+	}, nil
 }
 
 // SetHistoryLength selects the tag-history depth (1 = TCP-1, the more
-// robust variant on interleaved commercial miss streams; 2 = TCP-2).
-func (t *TCP) SetHistoryLength(n int) *TCP {
+// robust variant on interleaved commercial miss streams; 2 = TCP-2). An
+// out-of-range depth returns an ErrInvalidConfig-classified error and
+// leaves the prefetcher unchanged.
+func (t *TCP) SetHistoryLength(n int) (*TCP, error) {
 	if n < 1 || n > 2 {
-		panic("prefetch: TCP history length must be 1 or 2")
+		return nil, ebcperr.Invalidf("prefetch: TCP history length %d must be 1 or 2", n)
 	}
 	t.histLen = n
-	return t
+	return t, nil
 }
 
 // TCPSmall is the ~256KB configuration of Section 5.3.
-func TCPSmall(degree int) *TCP { return NewTCP("TCP small", 128, 2048, 16, degree) }
+func TCPSmall(degree int) (*TCP, error) { return NewTCP("TCP small", 128, 2048, 16, degree) }
 
 // TCPLarge is the ~4MB configuration of Section 5.3.
-func TCPLarge(degree int) *TCP { return NewTCP("TCP large", 128, 32<<10, 16, degree) }
+func TCPLarge(degree int) (*TCP, error) { return NewTCP("TCP large", 128, 32<<10, 16, degree) }
 
 // Name implements Prefetcher.
 func (t *TCP) Name() string { return t.label }

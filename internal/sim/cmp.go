@@ -12,9 +12,29 @@ package sim
 import (
 	"fmt"
 
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/trace"
 )
+
+// CMPShortTraceError reports that at least one lane's trace source ended
+// inside its warmup window: the grid-wide statistics reset then ran
+// early (or never), so every lane's measurement includes warmup. Partial
+// carries the contaminated per-core results. The error matches
+// ebcperr.ErrShortTrace under errors.Is.
+type CMPShortTraceError struct {
+	// Partial is the contaminated result (every per-core entry is
+	// flagged WarmupIncomplete).
+	Partial CMPResult
+}
+
+// Error implements error.
+func (e *CMPShortTraceError) Error() string {
+	return fmt.Sprintf("sim: a trace ended inside the %d-core CMP warmup window; statistics include warmup", len(e.Partial.PerCore))
+}
+
+// Unwrap classifies the error as ebcperr.ErrShortTrace.
+func (e *CMPShortTraceError) Unwrap() error { return ebcperr.ErrShortTrace }
 
 // CMPResult carries the per-thread and aggregate statistics of a
 // multi-core run.
@@ -83,19 +103,24 @@ func (r CMPResult) Speedup(baseline CMPResult) float64 {
 // advanced lowest-local-clock first, so shared-resource requests arrive
 // in near-global time order and the miss streams interleave the way they
 // would on real hardware. Warmup and measurement windows apply per
-// thread.
-func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResult {
+// thread. It returns an ErrInvalidConfig-classified error for a bad
+// configuration or an empty source list, or an ErrShortTrace-classified
+// *CMPShortTraceError — alongside the contaminated partial CMPResult —
+// when any lane's trace ends inside its warmup window.
+func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) (CMPResult, error) {
 	if len(sources) == 0 {
-		panic("sim: RunCMP needs at least one trace source")
+		return CMPResult{}, ebcperr.Invalidf("sim: RunCMP needs at least one trace source")
 	}
-	if err := cfg.Validate(); err != nil {
-		panic(err)
+	r, err := NewRunner(cfg, pf) // provides the shared half; lane 0 included
+	if err != nil {
+		return CMPResult{}, err
 	}
-	r := NewRunner(cfg, pf) // provides the shared half; lane 0 included
 	lanes := make([]*lane, len(sources))
 	lanes[0] = r.lane
 	for i := 1; i < len(sources); i++ {
-		lanes[i] = newLane(i, cfg)
+		if lanes[i], err = newLane(i, cfg); err != nil {
+			return CMPResult{}, err
+		}
 	}
 
 	// The lane interleaving is decided record-by-record by the local
@@ -196,7 +221,10 @@ func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) CMPResul
 		res.WarmupIncomplete = shortWarm || !warmedAll
 		out.PerCore = append(out.PerCore, res)
 	}
-	return out
+	if shortWarm || !warmedAll {
+		return out, &CMPShortTraceError{Partial: out}
+	}
+	return out, nil
 }
 
 // String summarizes the CMP result.

@@ -16,7 +16,7 @@ func cmpSources(p workload.Params, n int) []trace.Source {
 	for i := range out {
 		q := p
 		q.Seed += int64(i) * 7919
-		out[i] = workload.New(q)
+		out[i] = must(workload.New(q))
 	}
 	return out
 }
@@ -30,7 +30,7 @@ func cmpConfig(p workload.Params) Config {
 
 func TestCMPBaselineRuns(t *testing.T) {
 	p := workload.SPECjbb2005()
-	res := RunCMP(cmpSources(p, 2), prefetch.None{}, cmpConfig(p))
+	res := must(RunCMP(cmpSources(p, 2), prefetch.None{}, cmpConfig(p)))
 	if len(res.PerCore) != 2 {
 		t.Fatalf("per-core results = %d", len(res.PerCore))
 	}
@@ -51,8 +51,8 @@ func TestCMPSingleCoreMatchesRunner(t *testing.T) {
 	// RunCMP with one source must agree with the single-core Run.
 	p := workload.Database()
 	cfg := cmpConfig(p)
-	single := Run(workload.New(p), prefetch.None{}, cfg)
-	cmp := RunCMP([]trace.Source{workload.New(p)}, prefetch.None{}, cfg)
+	single := must(Run(must(workload.New(p)), prefetch.None{}, cfg))
+	cmp := must(RunCMP([]trace.Source{must(workload.New(p))}, prefetch.None{}, cfg))
 	if cmp.PerCore[0].Core.Cycles != single.Core.Cycles {
 		t.Errorf("single-core CMP cycles %d != Run cycles %d",
 			cmp.PerCore[0].Core.Cycles, single.Core.Cycles)
@@ -67,8 +67,8 @@ func TestCMPSharedL2Contention(t *testing.T) {
 	// thread owning it.
 	p := workload.SPECjbb2005()
 	cfg := cmpConfig(p)
-	one := RunCMP(cmpSources(p, 1), prefetch.None{}, cfg)
-	four := RunCMP(cmpSources(p, 4), prefetch.None{}, cfg)
+	one := must(RunCMP(cmpSources(p, 1), prefetch.None{}, cfg))
+	four := must(RunCMP(cmpSources(p, 4), prefetch.None{}, cfg))
 	mpki := func(r Result) float64 { return r.LoadMPKI() }
 	if mpki(four.PerCore[0]) <= mpki(one.PerCore[0]) {
 		t.Errorf("shared-L2 contention missing: 4-core MPKI %.2f <= 1-core %.2f",
@@ -80,7 +80,7 @@ func TestCMPSharedL2Contention(t *testing.T) {
 func ebcpCMP(n int) *core.EBCP {
 	cfg := core.DefaultConfig()
 	cfg.Cores = n
-	return core.New(cfg)
+	return must(core.New(cfg))
 }
 
 func TestCMPEBCPImprovesThroughput(t *testing.T) {
@@ -90,8 +90,8 @@ func TestCMPEBCPImprovesThroughput(t *testing.T) {
 	p := workload.SPECjbb2005()
 	cfg := cmpConfig(p)
 	cfg.WarmInsts, cfg.MeasureInsts = 20e6, 10e6
-	base := RunCMP(cmpSources(p, 2), prefetch.None{}, cfg)
-	res := RunCMP(cmpSources(p, 2), ebcpCMP(2), cfg)
+	base := must(RunCMP(cmpSources(p, 2), prefetch.None{}, cfg))
+	res := must(RunCMP(cmpSources(p, 2), ebcpCMP(2), cfg))
 	if sp := res.Speedup(base); sp < 1.03 {
 		t.Errorf("2-core EBCP speedup = %.3f, want clearly positive", sp)
 	}
@@ -114,15 +114,15 @@ func TestCMPInterleavingHurtsMemorySidePrefetcher(t *testing.T) {
 	cfg.WarmInsts, cfg.MeasureInsts = 25e6, 10e6
 
 	speedup := func(n int, pf func() prefetch.Prefetcher) float64 {
-		base := RunCMP(cmpSources(p, n), prefetch.None{}, cfg)
-		res := RunCMP(cmpSources(p, n), pf(), cfg)
+		base := must(RunCMP(cmpSources(p, n), prefetch.None{}, cfg))
+		res := must(RunCMP(cmpSources(p, n), pf(), cfg))
 		return res.Speedup(base)
 	}
 
 	ebcp1 := speedup(1, func() prefetch.Prefetcher { return ebcpCMP(1) })
 	ebcp4 := speedup(4, func() prefetch.Prefetcher { return ebcpCMP(4) })
-	sol1 := speedup(1, func() prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) })
-	sol4 := speedup(4, func() prefetch.Prefetcher { return prefetch.NewSolihin(6, 1, 1<<20) })
+	sol1 := speedup(1, func() prefetch.Prefetcher { return must(prefetch.NewSolihin(6, 1, 1<<20)) })
+	sol4 := speedup(4, func() prefetch.Prefetcher { return must(prefetch.NewSolihin(6, 1, 1<<20)) })
 
 	// Benefit retained when going from 1 to 4 cores.
 	ebcpRetain := (ebcp4 - 1) / (ebcp1 - 1)

@@ -38,8 +38,8 @@ func TestGoldenCycleCounts(t *testing.T) {
 			cfg.Core.OnChipCPI = b.OnChipCPI
 			cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
 
-			base := Run(workload.New(b), prefetch.None{}, cfg)
-			pf := Run(workload.New(b), core.New(core.DefaultConfig()), cfg)
+			base := must(Run(must(workload.New(b)), prefetch.None{}, cfg))
+			pf := must(Run(must(workload.New(b)), must(core.New(core.DefaultConfig())), cfg))
 			hits := pf.PB.Hits + pf.PB.PartialHits
 
 			if base.Core.Cycles != g.baseCycles || base.L2MissesLoad != g.baseMiss ||
@@ -77,7 +77,7 @@ func TestGoldenComparisonPrefetcher(t *testing.T) {
 			cfg.Core.OnChipCPI = b.OnChipCPI
 			cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
 
-			res := Run(workload.New(b), prefetch.GHBSmall(6), cfg)
+			res := must(Run(must(workload.New(b)), must(prefetch.GHBSmall(6)), cfg))
 			hits := res.PB.Hits + res.PB.PartialHits
 			if res.Core.Cycles != g.cycles || hits != g.hits {
 				t.Errorf("golden drift for %s / GHB small:\n  got  {%q, %d, %d}\n  want {%q, %d, %d}\n"+
@@ -103,7 +103,7 @@ func TestGoldenCMP(t *testing.T) {
 		{"ebcp", func() prefetch.Prefetcher {
 			cfg := core.DefaultConfig()
 			cfg.Cores = cores
-			return core.New(cfg)
+			return must(core.New(cfg))
 		}, [cores]uint64{3875645, 3726766}, 13},
 	}
 	b, err := workload.ByName("Database")
@@ -120,9 +120,9 @@ func TestGoldenCMP(t *testing.T) {
 			for i := range sources {
 				wb := b
 				wb.Seed += int64(i) * 7919
-				sources[i] = workload.New(wb)
+				sources[i] = must(workload.New(wb))
 			}
-			res := RunCMP(sources, g.pf(), cfg)
+			res := must(RunCMP(sources, g.pf(), cfg))
 			if len(res.PerCore) != cores {
 				t.Fatalf("expected %d lanes, got %d", cores, len(res.PerCore))
 			}

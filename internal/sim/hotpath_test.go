@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
 	"ebcp/internal/core"
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/trace"
 	"ebcp/internal/workload"
@@ -28,16 +30,18 @@ func TestBatchedRunMatchesPerRecord(t *testing.T) {
 	cfg.Core.OnChipCPI = b.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = 200_000, 500_000
 
-	batched := Run(workload.New(b), core.New(core.DefaultConfig()), cfg)
-	perRecord := Run(nextOnly{workload.New(b)}, core.New(core.DefaultConfig()), cfg)
+	batched := must(Run(must(workload.New(b)), must(core.New(core.DefaultConfig())), cfg))
+	perRecord := must(Run(nextOnly{must(workload.New(b))}, must(core.New(core.DefaultConfig())), cfg))
 	if !reflect.DeepEqual(batched, perRecord) {
 		t.Errorf("batched and per-record runs diverge:\n  batched    %+v\n  per-record %+v", batched, perRecord)
 	}
 }
 
 // TestWarmupIncompleteFlag is the short-trace regression test: a source
-// that exhausts before WarmInsts must be reported, because the statistics
-// were never reset and the "measured" numbers include warmup.
+// that exhausts before WarmInsts must fail with an ErrShortTrace-wrapped
+// error, because the statistics were never reset and the "measured"
+// numbers include warmup. The partial result still rides along on the
+// typed error so callers can inspect the contaminated numbers.
 func TestWarmupIncompleteFlag(t *testing.T) {
 	b, err := workload.ByName("Database")
 	if err != nil {
@@ -47,22 +51,29 @@ func TestWarmupIncompleteFlag(t *testing.T) {
 	cfg.Core.OnChipCPI = b.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = 1_000_000, 1_000_000
 
-	short := Run(trace.NewLimit(workload.New(b), 100_000), prefetch.None{}, cfg)
-	if !short.WarmupIncomplete {
+	short, err := Run(trace.NewLimit(must(workload.New(b)), 100_000), prefetch.None{}, cfg)
+	if !errors.Is(err, ebcperr.ErrShortTrace) {
+		t.Fatalf("short trace: err = %v, want ErrShortTrace", err)
+	}
+	var ste *ShortTraceError
+	if !errors.As(err, &ste) {
+		t.Fatalf("short trace error %T does not carry the partial result", err)
+	}
+	if !short.WarmupIncomplete || !ste.Partial.WarmupIncomplete {
 		t.Error("source exhausted before WarmInsts: WarmupIncomplete must be set")
 	}
 	if short.Core.Instructions == 0 {
 		t.Error("short run should still report the (warmup-polluted) statistics")
 	}
 
-	full := Run(trace.NewLimit(workload.New(b), 3_000_000), prefetch.None{}, cfg)
+	full := must(Run(trace.NewLimit(must(workload.New(b)), 3_000_000), prefetch.None{}, cfg))
 	if full.WarmupIncomplete {
 		t.Error("warmup completed: WarmupIncomplete must be clear")
 	}
 
 	// With no warmup window there is nothing to miss, even on a tiny trace.
 	cfg.WarmInsts = 0
-	none := Run(trace.NewLimit(workload.New(b), 100_000), prefetch.None{}, cfg)
+	none := must(Run(trace.NewLimit(must(workload.New(b)), 100_000), prefetch.None{}, cfg))
 	if none.WarmupIncomplete {
 		t.Error("WarmInsts=0: WarmupIncomplete must be clear")
 	}
@@ -81,17 +92,24 @@ func TestWarmupIncompleteCMP(t *testing.T) {
 	cfg.WarmInsts, cfg.MeasureInsts = 1_000_000, 1_000_000
 
 	sources := []trace.Source{
-		trace.NewLimit(workload.New(b), 100_000), // exhausts during warmup
-		workload.New(b),                          // endless
+		trace.NewLimit(must(workload.New(b)), 100_000), // exhausts during warmup
+		must(workload.New(b)),                          // endless
 	}
-	res := RunCMP(sources, prefetch.None{}, cfg)
+	res, err := RunCMP(sources, prefetch.None{}, cfg)
+	if !errors.Is(err, ebcperr.ErrShortTrace) {
+		t.Fatalf("short lane: err = %v, want ErrShortTrace", err)
+	}
+	var cste *CMPShortTraceError
+	if !errors.As(err, &cste) {
+		t.Fatalf("short lane error %T does not carry the partial result", err)
+	}
 	for i, pc := range res.PerCore {
 		if !pc.WarmupIncomplete {
 			t.Errorf("lane %d: WarmupIncomplete must be set when any lane's source is short", i)
 		}
 	}
 
-	ok := RunCMP([]trace.Source{workload.New(b), workload.New(b)}, prefetch.None{}, cfg)
+	ok := must(RunCMP([]trace.Source{must(workload.New(b)), must(workload.New(b))}, prefetch.None{}, cfg))
 	for i, pc := range ok.PerCore {
 		if pc.WarmupIncomplete {
 			t.Errorf("lane %d: WarmupIncomplete must be clear when all lanes warm", i)
@@ -113,8 +131,8 @@ func TestSteadyStateAllocs(t *testing.T) {
 	cfg.Core.OnChipCPI = b.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = 0, 1 // windows unused: we drive step directly
 
-	r := NewRunner(cfg, core.New(core.DefaultConfig()))
-	src := workload.New(b)
+	r := must(NewRunner(cfg, must(core.New(core.DefaultConfig()))))
+	src := must(workload.New(b))
 	const batchSize = 256
 	batch := make([]trace.Record, batchSize)
 	drive := func() {

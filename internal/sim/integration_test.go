@@ -17,7 +17,7 @@ func ebcpFor(degree int) *core.EBCP {
 	if degree > cfg.TableMaxAddrs {
 		cfg.TableMaxAddrs = degree
 	}
-	return core.New(cfg)
+	return must(core.New(cfg))
 }
 
 func TestEBCPOnEpochChain(t *testing.T) {
@@ -26,8 +26,8 @@ func TestEBCPOnEpochChain(t *testing.T) {
 	mk := func() *trace.Slice { return workload.EpochChain(7, 24000, 3, 5, 80) }
 	cfg := testConfig(1 << 40)
 	cfg.WarmInsts = 12e6 // two laps of training
-	base := Run(mk(), prefetch.None{}, cfg)
-	res := Run(mk(), ebcpFor(8), cfg)
+	base := must(Run(mk(), prefetch.None{}, cfg))
+	res := must(Run(mk(), ebcpFor(8), cfg))
 
 	if base.Core.Epochs == 0 {
 		t.Fatal("baseline produced no epochs")
@@ -51,14 +51,14 @@ func TestEBCPBeatsMinusOnEpochChain(t *testing.T) {
 	mk := func() *trace.Slice { return workload.EpochChain(7, 24000, 3, 5, 80) }
 	cfg := testConfig(1 << 40)
 	cfg.WarmInsts = 12e6
-	base := Run(mk(), prefetch.None{}, cfg)
+	base := must(Run(mk(), prefetch.None{}, cfg))
 
-	plus := Run(mk(), ebcpFor(8), cfg)
+	plus := must(Run(mk(), ebcpFor(8), cfg))
 
 	mcfg := core.DefaultConfig()
 	mcfg.TableEntries = 1 << 16
 	mcfg.Minus = true
-	minus := Run(mk(), core.New(mcfg), cfg)
+	minus := must(Run(mk(), must(core.New(mcfg)), cfg))
 
 	if plus.Improvement(base) <= minus.Improvement(base) {
 		t.Errorf("EBCP (%.3f) must beat EBCP-minus (%.3f): storing the untimely next epoch wastes entry slots",
@@ -69,8 +69,8 @@ func TestEBCPBeatsMinusOnEpochChain(t *testing.T) {
 func TestStreamOnStridedTrace(t *testing.T) {
 	mk := func() *trace.Slice { return workload.Strided(1<<30, 2, 20000, 300) }
 	cfg := testConfig(1 << 40)
-	base := Run(mk(), prefetch.None{}, cfg)
-	res := Run(mk(), prefetch.NewStream(32, 6), cfg)
+	base := must(Run(mk(), prefetch.None{}, cfg))
+	res := must(Run(mk(), must(prefetch.NewStream(32, 6)), cfg))
 	if cov := res.Coverage(); cov < 0.8 {
 		t.Errorf("stream coverage on a pure stride = %.2f, want near-complete", cov)
 	}
@@ -84,11 +84,11 @@ func TestPrefetchersHarmlessOnRandom(t *testing.T) {
 	// hopeless prefetcher must not slow the machine measurably.
 	mk := func() *trace.Slice { return workload.RandomLoads(5, 20000, 300) }
 	cfg := testConfig(1 << 40)
-	base := Run(mk(), prefetch.None{}, cfg)
+	base := must(Run(mk(), prefetch.None{}, cfg))
 	for _, pf := range []prefetch.Prefetcher{
-		ebcpFor(8), prefetch.NewStream(32, 6), prefetch.GHBSmall(6), prefetch.NewSMS(),
+		ebcpFor(8), must(prefetch.NewStream(32, 6)), must(prefetch.GHBSmall(6)), prefetch.NewSMS(),
 	} {
-		res := Run(mk(), pf, cfg)
+		res := must(Run(mk(), pf, cfg))
 		if slow := res.CPI()/base.CPI() - 1; slow > 0.02 {
 			t.Errorf("%s slows a random workload by %.1f%%", pf.Name(), 100*slow)
 		}
@@ -101,8 +101,8 @@ func TestPointerChaseChainFullyCovered(t *testing.T) {
 	mk := func() *trace.Slice { return workload.PointerChase(3, 50000, 5, 120) }
 	cfg := testConfig(1 << 40)
 	cfg.WarmInsts = 12e6 // two laps of training
-	base := Run(mk(), prefetch.None{}, cfg)
-	res := Run(mk(), ebcpFor(8), cfg)
+	base := must(Run(mk(), prefetch.None{}, cfg))
+	res := must(Run(mk(), ebcpFor(8), cfg))
 	if cov := res.Coverage(); cov < 0.5 {
 		t.Errorf("chase coverage = %.2f", cov)
 	}
@@ -117,7 +117,7 @@ func TestAccountingInvariants(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Core.OnChipCPI = p.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = 2e6, 4e6
-	res := Run(workload.New(p), ebcpFor(8), cfg)
+	res := must(Run(must(workload.New(p)), ebcpFor(8), cfg))
 
 	if res.Core.Cycles != res.Core.OnChipCycles+res.Core.StallCycles {
 		t.Errorf("cycles %d != onchip %d + stall %d",
@@ -151,8 +151,8 @@ func TestDeterministicRuns(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Core.OnChipCPI = p.OnChipCPI
 	cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
-	r1 := Run(workload.New(p), ebcpFor(8), cfg)
-	r2 := Run(workload.New(p), ebcpFor(8), cfg)
+	r1 := must(Run(must(workload.New(p)), ebcpFor(8), cfg))
+	r2 := must(Run(must(workload.New(p)), ebcpFor(8), cfg))
 	if r1.Core.Cycles != r2.Core.Cycles || r1.L2MissesLoad != r2.L2MissesLoad {
 		t.Errorf("runs not deterministic: %d/%d vs %d/%d",
 			r1.Core.Cycles, r1.L2MissesLoad, r2.Core.Cycles, r2.L2MissesLoad)
@@ -169,8 +169,8 @@ func TestAllBenchmarksImproveWithEBCP(t *testing.T) {
 			cfg := DefaultConfig()
 			cfg.Core.OnChipCPI = p.OnChipCPI
 			cfg.WarmInsts, cfg.MeasureInsts = 20e6, 15e6
-			base := Run(workload.New(p), prefetch.None{}, cfg)
-			res := Run(workload.New(p), core.New(core.DefaultConfig()), cfg)
+			base := must(Run(must(workload.New(p)), prefetch.None{}, cfg))
+			res := must(Run(must(workload.New(p)), must(core.New(core.DefaultConfig())), cfg))
 			imp := res.Improvement(base)
 			if imp < 0.03 {
 				t.Errorf("EBCP improvement on %s = %.1f%%, want clearly positive", p.Name, 100*imp)
@@ -193,7 +193,7 @@ func TestBandwidthSensitivityShape(t *testing.T) {
 	baseCfg := DefaultConfig()
 	baseCfg.Core.OnChipCPI = p.OnChipCPI
 	baseCfg.WarmInsts, baseCfg.MeasureInsts = 30e6, 20e6
-	base := Run(workload.New(p), prefetch.None{}, baseCfg)
+	base := must(Run(must(workload.New(p)), prefetch.None{}, baseCfg))
 
 	run := func(gbps float64) Result {
 		cfg := baseCfg
@@ -203,7 +203,7 @@ func TestBandwidthSensitivityShape(t *testing.T) {
 		ecfg.TableEntries = 1 << 20
 		ecfg.TableMaxAddrs = 32
 		ecfg.Degree = 32
-		return Run(workload.New(p), core.New(ecfg), cfg)
+		return must(Run(must(workload.New(p)), must(core.New(ecfg)), cfg))
 	}
 	low, high := run(3.2), run(9.6)
 	if low.Improvement(base) >= high.Improvement(base) {

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+)
+
+func checkInvalid(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: panicked (%v), want typed error", name, r)
+			}
+		}()
+		return f()
+	}()
+	switch {
+	case err == nil:
+		t.Errorf("%s: accepted, want error", name)
+	case !errors.Is(err, ebcperr.ErrInvalidConfig):
+		t.Errorf("%s: error %q not classified ErrInvalidConfig", name, err)
+	case len(err.Error()) < 10:
+		t.Errorf("%s: message %q not descriptive", name, err)
+	}
+}
+
+func TestNegativeConfigs(t *testing.T) {
+	run := func(f func(*Config)) func() error {
+		return func() error {
+			cfg := DefaultConfig()
+			f(&cfg)
+			_, err := Run(trace.NewSlice(nil), prefetch.None{}, cfg)
+			return err
+		}
+	}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"zero PB entries", run(func(c *Config) { c.PBEntries = 0 })},
+		{"negative PB entries", run(func(c *Config) { c.PBEntries = -1 })},
+		{"zero PB ways", run(func(c *Config) { c.PBWays = 0 })},
+		{"zero measure window", run(func(c *Config) { c.MeasureInsts = 0 })},
+		{"bad core config", run(func(c *Config) { c.Core.OnChipCPI = 0 })},
+		{"bad L2 config", run(func(c *Config) { c.L2.SizeBytes = 3000 })},
+		{"bad mem config", run(func(c *Config) { c.Mem.ReadGBps = 0 })},
+		{"CMP no sources", func() error {
+			_, err := RunCMP(nil, prefetch.None{}, DefaultConfig())
+			return err
+		}},
+		{"CMP bad config", func() error {
+			cfg := DefaultConfig()
+			cfg.PBWays = 0
+			_, err := RunCMP([]trace.Source{trace.NewSlice(nil)}, prefetch.None{}, cfg)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		checkInvalid(t, c.name, c.f)
+	}
+}

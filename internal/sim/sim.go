@@ -12,10 +12,31 @@ import (
 	"ebcp/internal/amo"
 	"ebcp/internal/cache"
 	"ebcp/internal/cpu"
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/mem"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/trace"
 )
+
+// ShortTraceError reports that a trace source was exhausted before the
+// warmup window completed. The run's statistics were never reset, so
+// they include the warmup window; Partial carries them for diagnostic
+// use. The error matches ebcperr.ErrShortTrace under errors.Is.
+type ShortTraceError struct {
+	// Partial is the contaminated result (WarmupIncomplete is set).
+	Partial Result
+	// Insts is how many instructions retired before the source ended;
+	// Want is the warmup window that was requested.
+	Insts, Want uint64
+}
+
+// Error implements error.
+func (e *ShortTraceError) Error() string {
+	return fmt.Sprintf("sim: trace ended after %d of %d warmup instructions; statistics include warmup", e.Insts, e.Want)
+}
+
+// Unwrap classifies the error as ebcperr.ErrShortTrace.
+func (e *ShortTraceError) Unwrap() error { return ebcperr.ErrShortTrace }
 
 // Config describes a full simulated system (defaults follow Section 4.4).
 type Config struct {
@@ -50,8 +71,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (c Config) Validate() error {
+	if err := c.Core.Validate(); err != nil {
+		return err
+	}
 	for _, cc := range []cache.Config{c.L1I, c.L1D, c.L2} {
 		if err := cc.Validate(); err != nil {
 			return err
@@ -61,10 +86,10 @@ func (c Config) Validate() error {
 		return err
 	}
 	if c.PBEntries <= 0 || c.PBWays <= 0 {
-		return fmt.Errorf("sim: prefetch buffer shape must be positive")
+		return ebcperr.Invalidf("sim: prefetch buffer shape %d/%d must be positive", c.PBEntries, c.PBWays)
 	}
 	if c.MeasureInsts == 0 {
-		return fmt.Errorf("sim: measurement window must be positive")
+		return ebcperr.Invalidf("sim: measurement window must be positive")
 	}
 	return nil
 }
@@ -236,14 +261,26 @@ type lane struct {
 	pbHitIF, pbHitLD       uint64
 }
 
-func newLane(id int, cfg Config) *lane {
+func newLane(id int, cfg Config) (*lane, error) {
+	core, err := cpu.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	l1i, err := cache.New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := cache.New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
 	return &lane{
 		id:          id,
-		core:        cpu.New(cfg.Core),
-		l1i:         cache.New(cfg.L1I),
-		l1d:         cache.New(cfg.L1D),
+		core:        core,
+		l1i:         l1i,
+		l1d:         l1d,
 		outstanding: newMissSet(cfg.Core.MaxOutstanding),
-	}
+	}, nil
 }
 
 func (l *lane) resetStats() {
@@ -270,31 +307,50 @@ type Runner struct {
 	batch []trace.Record
 }
 
-// NewRunner assembles a single-core system. It panics on invalid
-// configuration (configurations are code, not user input).
-func NewRunner(cfg Config, pf prefetch.Prefetcher) *Runner {
+// NewRunner assembles a single-core system. It returns an
+// ErrInvalidConfig-classified error if the configuration fails Validate.
+func NewRunner(cfg Config, pf prefetch.Prefetcher) (*Runner, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	m := mem.New(cfg.Mem)
-	l2 := cache.New(cfg.L2)
-	pb := cache.NewPrefetchBuffer(cfg.PBEntries, cfg.PBWays)
+	m, err := mem.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := cache.New(cfg.L2)
+	if err != nil {
+		return nil, err
+	}
+	pb, err := cache.NewPrefetchBuffer(cfg.PBEntries, cfg.PBWays)
+	if err != nil {
+		return nil, err
+	}
+	l0, err := newLane(0, cfg)
+	if err != nil {
+		return nil, err
+	}
 	return &Runner{
 		cfg:   cfg,
 		pf:    pf,
-		lane:  newLane(0, cfg),
+		lane:  l0,
 		l2:    l2,
 		pb:    pb,
 		mem:   m,
 		ctx:   prefetch.NewContext(m, pb, l2),
 		batch: make([]trace.Record, 1024),
-	}
+	}, nil
 }
 
 // Run executes warmup then measurement over the trace source and returns
-// the measured statistics.
-func Run(src trace.Source, pf prefetch.Prefetcher, cfg Config) Result {
-	r := NewRunner(cfg, pf)
+// the measured statistics. It returns an ErrInvalidConfig-classified
+// error for a bad configuration, or an ErrShortTrace-classified
+// *ShortTraceError — alongside the contaminated partial Result — when the
+// source ends inside the warmup window.
+func Run(src trace.Source, pf prefetch.Prefetcher, cfg Config) (Result, error) {
+	r, err := NewRunner(cfg, pf)
+	if err != nil {
+		return Result{}, err
+	}
 	return r.Run(src)
 }
 
@@ -302,9 +358,11 @@ func Run(src trace.Source, pf prefetch.Prefetcher, cfg Config) Result {
 // read through the batched-Source path (trace.FillBatch) so the hot loop
 // iterates a slice instead of paying one interface call per record; the
 // delivered record sequence is identical to the per-record path. If the
-// source is exhausted before the warmup window completes, the returned
-// Result carries WarmupIncomplete (its statistics include warmup).
-func (r *Runner) Run(src trace.Source) Result {
+// source is exhausted before the warmup window completes, Run returns
+// the partial Result — flagged WarmupIncomplete, statistics including
+// warmup — together with an ErrShortTrace-classified *ShortTraceError
+// carrying the same Result.
+func (r *Runner) Run(src trace.Source) (Result, error) {
 	warmEnd := r.cfg.WarmInsts
 	measureEnd := warmEnd + r.cfg.MeasureInsts
 	warmed := warmEnd == 0
@@ -332,7 +390,10 @@ loop:
 	r.lane.core.CloseEpoch()
 	res := r.result()
 	res.WarmupIncomplete = !warmed
-	return res
+	if !warmed {
+		return res, &ShortTraceError{Partial: res, Insts: r.lane.core.Insts(), Want: warmEnd}
+	}
+	return res, nil
 }
 
 func (r *Runner) resetStats() {

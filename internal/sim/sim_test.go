@@ -39,7 +39,7 @@ func TestBaselineIsolatedMissTiming(t *testing.T) {
 	// (~128 cycles at CPI 1); the stall is ~500-128 cycles; so each
 	// 301-inst block costs ~301 + 372 cycles.
 	const n, gap = 1000, 300
-	res := Run(isolatedLoads(n, gap), prefetch.None{}, testConfig(uint64(n*(gap+1))))
+	res := must(Run(isolatedLoads(n, gap), prefetch.None{}, testConfig(uint64(n*(gap+1)))))
 
 	if res.L2MissesLoad != n {
 		t.Fatalf("misses = %d, want %d", res.L2MissesLoad, n)
@@ -72,7 +72,7 @@ func TestBaselineDependentChainTiming(t *testing.T) {
 			DependsOnMiss: i > 0,
 		}
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(n*20))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(n*20)))
 	if res.Core.Epochs != n {
 		t.Fatalf("epochs = %d, want %d", res.Core.Epochs, n)
 	}
@@ -103,7 +103,7 @@ func TestOverlappedGroupSharesEpoch(t *testing.T) {
 			addr += 64
 		}
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40)))
 	if res.Core.Epochs != groups {
 		t.Errorf("epochs = %d, want %d (3 misses share one epoch)", res.Core.Epochs, groups)
 	}
@@ -123,7 +123,7 @@ func TestL2HitsNoEpochs(t *testing.T) {
 			recs = append(recs, trace.Record{Gap: 50, Kind: trace.Load, Addr: amo.Addr(0x10_0000_0000 + i*64), PC: 0x40})
 		}
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40)))
 	if res.L2MissesLoad != 10 {
 		t.Errorf("misses = %d, want 10 cold misses", res.L2MissesLoad)
 	}
@@ -138,7 +138,7 @@ func TestIFetchMissCountsAndCloses(t *testing.T) {
 		recs[i] = trace.Record{Gap: 200, Kind: trace.IFetch, Addr: amo.Addr(0x4000_0000 + i*64)}
 		recs[i].PC = amo.PC(recs[i].Addr)
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40)))
 	if res.L2MissesIFetch != 100 {
 		t.Errorf("ifetch misses = %d", res.L2MissesIFetch)
 	}
@@ -160,7 +160,7 @@ func TestStoresDoNotStall(t *testing.T) {
 	for i := range recs {
 		recs[i] = trace.Record{Gap: 99, Kind: trace.Store, Addr: amo.Addr(0x10_0000_0000 + i*64), PC: 0x44}
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40)))
 	if res.Core.Epochs != 0 {
 		t.Errorf("stores created %d epochs", res.Core.Epochs)
 	}
@@ -185,7 +185,7 @@ func TestWarmupResetsStats(t *testing.T) {
 	cfg := testConfig(0)
 	cfg.WarmInsts = 1000 * 301
 	cfg.MeasureInsts = 1000 * 301
-	res := Run(isolatedLoads(2000, 300), prefetch.None{}, cfg)
+	res := must(Run(isolatedLoads(2000, 300), prefetch.None{}, cfg))
 	if res.Core.Instructions > 1000*301+400 {
 		t.Errorf("measured instructions = %d, want ~%d", res.Core.Instructions, 1000*301)
 	}
@@ -201,7 +201,7 @@ func TestMergedMissesDoNotDoubleCount(t *testing.T) {
 		{Gap: 10, Kind: trace.Load, Addr: 0x10_0000_0000, PC: 0x40},
 		{Gap: 4, Kind: trace.Load, Addr: 0x10_0000_0010, PC: 0x40}, // same line
 	}
-	res := Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40))
+	res := must(Run(trace.NewSlice(recs), prefetch.None{}, testConfig(1<<40)))
 	if res.L2MissesLoad != 1 {
 		t.Errorf("misses = %d, want 1 (second access merges)", res.L2MissesLoad)
 	}

@@ -112,11 +112,11 @@ type Generator struct {
 
 var _ trace.BatchSource = (*Generator)(nil)
 
-// New builds a generator. It panics on invalid parameters (benchmark
-// parameter sets are code).
-func New(p Params) *Generator {
+// New builds a generator. It returns an ErrInvalidConfig-classified
+// error if the parameters fail Validate.
+func New(p Params) (*Generator, error) {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	g := &Generator{
 		p:       p,
@@ -134,7 +134,7 @@ func New(p Params) *Generator {
 	g.buildTypes()
 	g.typePick = newSkewPicker(p.TxnTypes, p.ZipfTheta)
 	g.beginTxn()
-	return g
+	return g, nil
 }
 
 // Params returns the generator's parameters.

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+
+	"ebcp/internal/ebcperr"
+)
+
+func checkInvalid(t *testing.T, name string, f func() error) {
+	t.Helper()
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("%s: panicked (%v), want typed error", name, r)
+			}
+		}()
+		return f()
+	}()
+	switch {
+	case err == nil:
+		t.Errorf("%s: accepted, want error", name)
+	case !errors.Is(err, ebcperr.ErrInvalidConfig):
+		t.Errorf("%s: error %q not classified ErrInvalidConfig", name, err)
+	case len(err.Error()) < 10:
+		t.Errorf("%s: message %q not descriptive", name, err)
+	}
+}
+
+func TestNegativeConfigs(t *testing.T) {
+	mut := func(f func(*Params)) func() error {
+		return func() error {
+			p := Database()
+			f(&p)
+			_, err := New(p)
+			return err
+		}
+	}
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"empty name", mut(func(p *Params) { p.Name = "" })},
+		{"zero CPI", mut(func(p *Params) { p.OnChipCPI = 0 })},
+		{"zero chains", mut(func(p *Params) { p.Chains = 0 })},
+		{"zero txn types", mut(func(p *Params) { p.TxnTypes = 0 })},
+		{"bad align fraction", mut(func(p *Params) { p.AlignFrac = 2 })},
+		{"unknown benchmark", func() error { _, err := ByName("no-such-benchmark"); return err }},
+		{"scale zero", func() error { _, err := Scaled(Database(), 0); return err }},
+		{"scale above one", func() error { _, err := Scaled(Database(), 1.5); return err }},
+	}
+	for _, c := range cases {
+		checkInvalid(t, c.name, c.f)
+	}
+}

@@ -27,7 +27,11 @@
 // the paper (CPI, epochs and L2 miss rates per 1000 instructions).
 package workload
 
-import "fmt"
+import (
+	"fmt"
+
+	"ebcp/internal/ebcperr"
+)
 
 // Params fully describes one synthetic workload.
 type Params struct {
@@ -133,47 +137,48 @@ type Params struct {
 	SerializeEvery int
 }
 
-// Validate reports parameter errors.
+// Validate reports parameter errors. All errors match
+// ebcperr.ErrInvalidConfig under errors.Is.
 func (p Params) Validate() error {
 	switch {
 	case p.Name == "":
-		return fmt.Errorf("workload: name required")
+		return ebcperr.Invalidf("workload: name required")
 	case p.OnChipCPI <= 0:
-		return fmt.Errorf("workload %s: OnChipCPI must be positive", p.Name)
+		return ebcperr.Invalidf("workload %s: OnChipCPI must be positive", p.Name)
 	case p.TxnTypes <= 0 || p.Chains <= 0:
-		return fmt.Errorf("workload %s: types and chains must be positive", p.Name)
+		return ebcperr.Invalidf("workload %s: types and chains must be positive", p.Name)
 	case p.ChainSteps[0] <= 0 || p.ChainSteps[1] < p.ChainSteps[0]:
-		return fmt.Errorf("workload %s: bad chain steps %v", p.Name, p.ChainSteps)
+		return ebcperr.Invalidf("workload %s: bad chain steps %v", p.Name, p.ChainSteps)
 	case p.GroupSize[0] <= 0 || p.GroupSize[1] < p.GroupSize[0]:
-		return fmt.Errorf("workload %s: bad group size %v", p.Name, p.GroupSize)
+		return ebcperr.Invalidf("workload %s: bad group size %v", p.Name, p.GroupSize)
 	case p.ChainsPerTxn[0] <= 0 || p.ChainsPerTxn[1] < p.ChainsPerTxn[0]:
-		return fmt.Errorf("workload %s: bad chains per txn %v", p.Name, p.ChainsPerTxn)
+		return ebcperr.Invalidf("workload %s: bad chains per txn %v", p.Name, p.ChainsPerTxn)
 	case p.InstsPerStep[0] <= 0 || p.InstsPerStep[1] < p.InstsPerStep[0]:
-		return fmt.Errorf("workload %s: bad insts per step %v", p.Name, p.InstsPerStep)
+		return ebcperr.Invalidf("workload %s: bad insts per step %v", p.Name, p.InstsPerStep)
 	case p.BlocksPerStep[0] <= 0 || p.BlocksPerStep[1] < p.BlocksPerStep[0]:
-		return fmt.Errorf("workload %s: bad blocks per step %v", p.Name, p.BlocksPerStep)
+		return ebcperr.Invalidf("workload %s: bad blocks per step %v", p.Name, p.BlocksPerStep)
 	case p.PFollow < 0 || p.PFollow > 1 || p.Branch < 1:
-		return fmt.Errorf("workload %s: bad succession %v/%d", p.Name, p.PFollow, p.Branch)
+		return ebcperr.Invalidf("workload %s: bad succession %v/%d", p.Name, p.PFollow, p.Branch)
 	case p.WalkFrac+p.StrideFrac > 1 || p.WalkFrac < 0 || p.StrideFrac < 0:
-		return fmt.Errorf("workload %s: bad motif mix", p.Name)
+		return ebcperr.Invalidf("workload %s: bad motif mix", p.Name)
 	case p.CodeJump < 0 || p.CodeJump > 1:
-		return fmt.Errorf("workload %s: bad code jump fraction %v", p.Name, p.CodeJump)
+		return ebcperr.Invalidf("workload %s: bad code jump fraction %v", p.Name, p.CodeJump)
 	case p.DataLines == 0 || p.CodeLinesPerType <= 0 || p.PathBlocks <= 0:
-		return fmt.Errorf("workload %s: footprints must be positive", p.Name)
+		return ebcperr.Invalidf("workload %s: footprints must be positive", p.Name)
 	case p.Layouts <= 0:
-		return fmt.Errorf("workload %s: layouts must be positive", p.Name)
+		return ebcperr.Invalidf("workload %s: layouts must be positive", p.Name)
 	case p.AlignFrac < 0 || p.AlignFrac > 1:
-		return fmt.Errorf("workload %s: bad align fraction %v", p.Name, p.AlignFrac)
+		return ebcperr.Invalidf("workload %s: bad align fraction %v", p.Name, p.AlignFrac)
 	case p.Variants < 1:
-		return fmt.Errorf("workload %s: variants must be >= 1", p.Name)
+		return ebcperr.Invalidf("workload %s: variants must be >= 1", p.Name)
 	case p.CommonFrac < 0 || p.CommonFrac > 1:
-		return fmt.Errorf("workload %s: bad common fraction %v", p.Name, p.CommonFrac)
+		return ebcperr.Invalidf("workload %s: bad common fraction %v", p.Name, p.CommonFrac)
 	case p.NoiseFrac < 0 || p.NoiseFrac > 1:
-		return fmt.Errorf("workload %s: bad noise fraction %v", p.Name, p.NoiseFrac)
+		return ebcperr.Invalidf("workload %s: bad noise fraction %v", p.Name, p.NoiseFrac)
 	case p.ColdExtra < 0 || p.ColdExtra > 1:
-		return fmt.Errorf("workload %s: bad cold-extra fraction %v", p.Name, p.ColdExtra)
+		return ebcperr.Invalidf("workload %s: bad cold-extra fraction %v", p.Name, p.ColdExtra)
 	case p.BranchBreak < 0 || p.BranchBreak > 1:
-		return fmt.Errorf("workload %s: bad branch-break fraction %v", p.Name, p.BranchBreak)
+		return ebcperr.Invalidf("workload %s: bad branch-break fraction %v", p.Name, p.BranchBreak)
 	}
 	return nil
 }
@@ -373,10 +378,11 @@ func SPECjAppServer2004() Params {
 // prefetchers the way the paper's 150M-instruction warmup does at full
 // scale. Cache-pressure relationships change slightly (smaller
 // footprints), so Scaled is intended for tests and quick exploration,
-// not for regenerating the paper's numbers.
-func Scaled(p Params, f float64) Params {
+// not for regenerating the paper's numbers. A factor outside (0,1]
+// returns an ErrInvalidConfig-classified error.
+func Scaled(p Params, f float64) (Params, error) {
 	if f <= 0 || f > 1 {
-		panic("workload: scale factor must be in (0, 1]")
+		return Params{}, ebcperr.Invalidf("workload: scale factor %v must be in (0, 1]", f)
 	}
 	scale := func(v int, min int) int {
 		n := int(float64(v) * f)
@@ -388,7 +394,7 @@ func Scaled(p Params, f float64) Params {
 	p.Name = fmt.Sprintf("%s (x%.2f)", p.Name, f)
 	p.Chains = scale(p.Chains, 200)
 	p.TxnTypes = scale(p.TxnTypes, 8)
-	return p
+	return p, nil
 }
 
 // All returns the four commercial benchmark parameter sets in the order
@@ -404,5 +410,5 @@ func ByName(name string) (Params, error) {
 			return p, nil
 		}
 	}
-	return Params{}, fmt.Errorf("workload: unknown benchmark %q", name)
+	return Params{}, ebcperr.Invalidf("workload: unknown benchmark %q", name)
 }

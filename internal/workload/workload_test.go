@@ -63,7 +63,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestGeneratorDeterminism(t *testing.T) {
-	g1, g2 := New(SPECjbb2005()), New(SPECjbb2005())
+	g1, g2 := must(New(SPECjbb2005())), must(New(SPECjbb2005()))
 	for i := 0; i < 50000; i++ {
 		r1, _ := g1.Next()
 		r2, _ := g2.Next()
@@ -78,7 +78,7 @@ func TestGeneratorDeterminism(t *testing.T) {
 // stream Next delivers, across uneven batch sizes that straddle the
 // emission queue's step boundaries.
 func TestGeneratorBatchMatchesNext(t *testing.T) {
-	gn, gb := New(Database()), New(Database())
+	gn, gb := must(New(Database())), must(New(Database()))
 	sizes := []int{1, 3, 7, 64, claimBatch}
 	buf := make([]trace.Record, claimBatch)
 	i := 0
@@ -107,7 +107,7 @@ func TestGeneratorSeedsDiffer(t *testing.T) {
 	p := Database()
 	p2 := p
 	p2.Seed++
-	g1, g2 := New(p), New(p2)
+	g1, g2 := must(New(p)), must(New(p2))
 	same := 0
 	for i := 0; i < 1000; i++ {
 		r1, _ := g1.Next()
@@ -134,7 +134,7 @@ func TestStructuralProperties(t *testing.T) {
 	for _, p := range All() {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
-			recs := drain(New(p), 300000)
+			recs := drain(must(New(p)), 300000)
 			st := trace.Measure(trace.NewSlice(recs))
 			if st.Loads == 0 || st.IFetches == 0 || st.Stores == 0 {
 				t.Fatalf("missing record kinds: %+v", st)
@@ -167,7 +167,7 @@ func TestStructuralProperties(t *testing.T) {
 func TestRecurrence(t *testing.T) {
 	// The same data lines must recur across a long window (the temporal
 	// correlation the prefetchers learn): count lines seen 2+ times.
-	recs := drain(New(SPECjbb2005()), 2_000_000)
+	recs := drain(must(New(SPECjbb2005())), 2_000_000)
 	counts := make(map[amo.Line]int)
 	for _, r := range recs {
 		if r.Kind == trace.Load {
@@ -189,7 +189,7 @@ func TestInstructionRateBallpark(t *testing.T) {
 	// Trace-level miss-event density should be in the right ballpark for
 	// calibration (records carry only footprint accesses).
 	for _, p := range All() {
-		g := New(p)
+		g := must(New(p))
 		st := trace.Measure(trace.NewLimit(g, 5_000_000))
 		perK := 1000 * float64(st.Records) / float64(st.Instructions)
 		if perK < 2 || perK > 40 {
@@ -297,7 +297,7 @@ func TestMicroEpochChain(t *testing.T) {
 
 func TestAlignedHeads(t *testing.T) {
 	p := SPECjbb2005() // AlignFrac 0.5
-	recs := drain(New(p), 500000)
+	recs := drain(must(New(p)), 500000)
 	aligned, heads := 0, 0
 	for _, r := range recs {
 		if r.Kind != trace.Load || !r.DependsOnMiss {
@@ -319,7 +319,7 @@ func TestAlignedHeads(t *testing.T) {
 
 func TestScaled(t *testing.T) {
 	p := Database()
-	s := Scaled(p, 0.25)
+	s := must(Scaled(p, 0.25))
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -331,19 +331,16 @@ func TestScaled(t *testing.T) {
 		t.Error("scaled workload should be renamed")
 	}
 	// Floors hold at extreme factors.
-	tiny := Scaled(p, 0.0001)
+	tiny := must(Scaled(p, 0.0001))
 	if tiny.Chains < 200 || tiny.TxnTypes < 8 {
 		t.Errorf("floors violated: %d chains, %d types", tiny.Chains, tiny.TxnTypes)
 	}
 	// The scaled generator still produces a usable trace.
-	st := trace.Measure(trace.NewLimit(New(s), 200000))
+	st := trace.Measure(trace.NewLimit(must(New(s)), 200000))
 	if st.Loads == 0 || st.IFetches == 0 {
 		t.Error("scaled workload produces no accesses")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("scale factor > 1 should panic")
-		}
-	}()
-	Scaled(p, 1.5)
+	if _, err := Scaled(p, 1.5); err == nil {
+		t.Error("scale factor > 1 should return an error")
+	}
 }
