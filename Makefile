@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet lint-nopanic race race-short fuzz bench-parallel bench-json
+.PHONY: tier1 vet lint-nopanic cover race race-short fuzz bench-parallel bench-json
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -23,11 +23,29 @@ lint-nopanic:
 		exit 1; \
 	fi
 
-# Full suite under the race detector (plus vet and the no-panic lint).
-# Slow — roughly ten minutes on one core; the determinism, single-flight
-# and cancellation tests in internal/exp/parallel_test.go are the
-# interesting part.
-race: vet lint-nopanic
+# Statement-coverage floor for the measurement-critical packages: the
+# metrics layer (every report number flows through it) and the simulator
+# core. A drop below 70% means new code shipped without tests.
+COVER_FLOOR := 70
+cover:
+	@fail=0; \
+	for pkg in ./internal/metrics ./internal/sim; do \
+		pct=$$(go test -cover $$pkg | awk '/coverage:/ { sub("%", "", $$5); print $$5 }'); \
+		if [ -z "$$pct" ]; then \
+			echo "cover: no coverage line for $$pkg (tests failed?)"; fail=1; \
+		elif [ $$(printf '%.0f' "$$pct") -lt $(COVER_FLOOR) ]; then \
+			echo "cover: $$pkg at $$pct% is below the $(COVER_FLOOR)% floor"; fail=1; \
+		else \
+			echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		fi; \
+	done; \
+	exit $$fail
+
+# Full suite under the race detector (plus vet, the no-panic lint and
+# the coverage floor). Slow — roughly ten minutes on one core; the
+# determinism, single-flight and cancellation tests in
+# internal/exp/parallel_test.go are the interesting part.
+race: vet lint-nopanic cover
 	go test -race ./...
 
 # The quick pre-push variant: skips the three slowest experiment shape

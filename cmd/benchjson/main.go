@@ -14,13 +14,15 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+
+	"ebcp/internal/metrics"
 )
 
 // Result is one parsed benchmark line.
@@ -39,9 +41,10 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Doc is the emitted file: enough machine context to make later
-// comparisons honest, then the results in input order.
+// Doc is the emitted file: a schema marker, enough machine context to
+// make later comparisons honest, then the results in input order.
 type Doc struct {
+	Schema    string   `json:"schema"`
 	GoVersion string   `json:"go_version"`
 	GOOS      string   `json:"goos"`
 	GOARCH    string   `json:"goarch"`
@@ -54,6 +57,7 @@ func main() {
 	flag.Parse()
 
 	doc := Doc{
+		Schema:    metrics.BenchSchemaV1,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -82,17 +86,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
+	var buf bytes.Buffer
+	if err := metrics.WriteJSON(&buf, doc); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	buf = append(buf, '\n')
 	if *out == "" {
-		os.Stdout.Write(buf)
+		os.Stdout.Write(buf.Bytes())
 		return
 	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@
 //	ebcpexp -exp all -scale 0.2      # 20%-length windows, much faster
 //	ebcpexp -exp all -workers 8      # shard simulations over 8 goroutines
 //	ebcpexp -exp all -timeout 2m     # render whatever completed in time
+//	ebcpexp -exp table1 -json        # one ebcp.report/v1 JSON document
 //	ebcpexp -list
 //
 // Simulations shard across -workers goroutines (default: all CPU cores);
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"ebcp/internal/exp"
+	"ebcp/internal/metrics"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func main() {
 		maxInsts   = flag.Float64("max-insts", 0, "truncate every cell's trace after this many instructions (0 = unlimited)")
 		verbose    = flag.Bool("v", false, "print per-run progress")
 		format     = flag.String("format", "text", "output format: text | csv | markdown")
+		jsonOut    = flag.Bool("json", false, "emit one ebcp.report/v1 JSON document for all experiments instead of rendered tables")
 		outFile    = flag.String("o", "", "write reports to a file instead of stdout")
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
 		timeout    = flag.Duration("timeout", 0, "stop scheduling new simulations after this long and render partial reports (0 = no limit)")
@@ -65,6 +68,10 @@ func main() {
 	}
 	if *maxInsts < 0 {
 		fmt.Fprintf(os.Stderr, "ebcpexp: -max-insts must be non-negative (got %g)\n", *maxInsts)
+		os.Exit(1)
+	}
+	if *jsonOut && *format != "text" {
+		fmt.Fprintf(os.Stderr, "ebcpexp: -json and -format %s are mutually exclusive\n", *format)
 		os.Exit(1)
 	}
 
@@ -112,16 +119,27 @@ func main() {
 
 	session := exp.NewSessionContext(ctx, opts)
 	naCells := 0
+	doc := metrics.ReportV1{Schema: metrics.SchemaV1, Tool: "ebcpexp"}
 	for _, e := range todo {
 		start := time.Now()
 		rep := e.Run(session)
 		naCells += rep.NACells()
+		if *jsonOut {
+			doc.Grids = append(doc.Grids, rep.GridV1())
+			continue
+		}
 		if err := rep.RenderFormat(out, *format); err != nil {
 			fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
 			os.Exit(1)
 		}
 		if *format == "text" || *format == "" {
 			fmt.Fprintf(out, "  [%s in %.1fs]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	if *jsonOut {
+		if err := metrics.WriteJSON(out, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	fmt.Fprintf(os.Stderr, "total simulations executed: %d (memo hits: %d)\n",

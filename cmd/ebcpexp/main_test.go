@@ -3,8 +3,11 @@ package main
 import (
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"ebcp/internal/metrics"
 )
 
 // TestMain lets the test binary impersonate the CLI: when the marker
@@ -80,6 +83,71 @@ func TestShortTraceRendersNAAndExitsNonZero(t *testing.T) {
 				t.Errorf("suspicious zero-valued measured row: %q", line)
 			}
 		}
+	}
+}
+
+// TestJSONReport runs one experiment with -json -o and checks the file
+// is a well-formed v1 document: strict-decodable, one grid per
+// experiment, with the paper's reference rows carried alongside.
+func TestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	out, code := runCLI(t,
+		"-exp", "table1", "-scale", "0.002", "-json", "-o", path)
+	if code != 0 {
+		t.Fatalf("-json run exit code = %d; output:\n%s", code, out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := metrics.DecodeReportV1(f)
+	if err != nil {
+		t.Fatalf("decoding -json report: %v", err)
+	}
+	if rep.Tool != "ebcpexp" {
+		t.Errorf("tool = %q, want ebcpexp", rep.Tool)
+	}
+	if len(rep.Runs) != 0 {
+		t.Errorf("grid report carries %d runs, want 0", len(rep.Runs))
+	}
+	if len(rep.Grids) != 1 {
+		t.Fatalf("got %d grids, want 1", len(rep.Grids))
+	}
+	g := rep.Grids[0]
+	if g.ID != "table1" {
+		t.Errorf("grid id = %q, want table1", g.ID)
+	}
+	if len(g.Rows) == 0 || len(g.Columns) == 0 {
+		t.Fatalf("empty grid: %d rows × %d columns", len(g.Rows), len(g.Columns))
+	}
+	if g.NACells != 0 {
+		t.Errorf("clean run produced %d n/a cells", g.NACells)
+	}
+	for _, row := range g.Rows {
+		if len(row.Values) != len(g.Columns) {
+			t.Errorf("row %q has %d values for %d columns", row.Label, len(row.Values), len(g.Columns))
+		}
+		for j, v := range row.Values {
+			if v == nil {
+				t.Errorf("row %q column %d is null in a clean run", row.Label, j)
+			}
+		}
+	}
+	if len(g.Paper) == 0 {
+		t.Error("paper reference rows missing from grid")
+	}
+}
+
+// TestJSONFormatMutuallyExclusive pins the flag validation: -json owns
+// the output shape, so combining it with -format must fail fast.
+func TestJSONFormatMutuallyExclusive(t *testing.T) {
+	out, code := runCLI(t, "-exp", "table1", "-json", "-format", "csv")
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (output: %s)", code, out)
+	}
+	if !strings.Contains(out, "mutually exclusive") {
+		t.Errorf("diagnostic %q does not mention exclusivity", out)
 	}
 }
 

@@ -69,6 +69,7 @@ func main() {
 		readGBps     = flag.Float64("read-gbps", 9.6, "memory read bandwidth")
 		writeGBps    = flag.Float64("write-gbps", 4.8, "memory write bandwidth")
 		noBase       = flag.Bool("nobase", false, "skip the baseline run")
+		jsonOut      = flag.Bool("json", false, "emit an ebcp.report/v1 JSON document on stdout instead of text")
 		timeout      = flag.Duration("timeout", 0, "hard wall-clock limit; exceeding it aborts the process (0 = no limit)")
 		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -144,9 +145,21 @@ func main() {
 	if runErr != nil && !errors.Is(runErr, ebcp.ErrShortTrace) {
 		die("%v", runErr)
 	}
-	printResult(bench.Name, res)
-	if e, ok := pf.(*ebcp.EBCP); ok {
-		printEBCP(e)
+	rep := ebcp.ReportV1{Schema: ebcp.ReportSchemaV1, Tool: "ebcpsim"}
+	if *jsonOut {
+		snap := res.Snapshot()
+		rep.Runs = append(rep.Runs, ebcp.RunV1{
+			Benchmark: bench.Name,
+			Role:      "measured",
+			Config:    cfg.MetricsConfig(),
+			Raw:       snap,
+			Derived:   snap.Derive(),
+		})
+	} else {
+		printResult(bench.Name, res)
+		if e, ok := pf.(*ebcp.EBCP); ok {
+			printEBCP(e)
+		}
 	}
 
 	if wantBase {
@@ -154,11 +167,31 @@ func main() {
 		if base.err != nil && !errors.Is(base.err, ebcp.ErrShortTrace) {
 			die("baseline: %v", base.err)
 		}
-		fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.res.CPI(), base.res.EPKI())
-		fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base.res))
-		fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base.res))
+		if *jsonOut {
+			snap := base.res.Snapshot()
+			rep.Runs = append(rep.Runs, ebcp.RunV1{
+				Benchmark: bench.Name,
+				Role:      "baseline",
+				Config:    cfg.MetricsConfig(),
+				Raw:       snap,
+				Derived:   snap.Derive(),
+			})
+			rep.Comparison = &ebcp.ComparisonV1{
+				ImprovementPct:  100 * res.Improvement(base.res),
+				EPIReductionPct: 100 * res.EPIReduction(base.res),
+			}
+		} else {
+			fmt.Printf("\nbaseline CPI %.3f  EPKI %.3f\n", base.res.CPI(), base.res.EPKI())
+			fmt.Printf("overall performance improvement: %+.1f%%\n", 100*res.Improvement(base.res))
+			fmt.Printf("EPI reduction:                   %+.1f%%\n", 100*res.EPIReduction(base.res))
+		}
 		if runErr == nil {
 			runErr = base.err
+		}
+	}
+	if *jsonOut {
+		if err := ebcp.WriteJSON(os.Stdout, rep); err != nil {
+			die("%v", err)
 		}
 	}
 

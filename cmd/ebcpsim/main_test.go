@@ -5,6 +5,8 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+
+	"ebcp/internal/metrics"
 )
 
 // TestMain lets the test binary impersonate the CLI: when the marker
@@ -80,5 +82,56 @@ func TestValidRunExitsZero(t *testing.T) {
 	}
 	if !strings.Contains(out, "CPI") {
 		t.Errorf("expected statistics in output, got:\n%s", out)
+	}
+}
+
+// TestJSONReport exercises the -json path end to end: the document must
+// parse under the strict v1 decoder, carry both the measured and
+// baseline runs, and reconcile its own counters.
+func TestJSONReport(t *testing.T) {
+	out, code := runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-json")
+	if code != 0 {
+		t.Fatalf("-json run exit code = %d; output:\n%s", code, out)
+	}
+	rep, err := metrics.DecodeReportV1(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("decoding -json output: %v\noutput:\n%s", err, out)
+	}
+	if rep.Tool != "ebcpsim" {
+		t.Errorf("tool = %q, want ebcpsim", rep.Tool)
+	}
+	if len(rep.Runs) != 2 {
+		t.Fatalf("got %d runs, want measured + baseline", len(rep.Runs))
+	}
+	if rep.Runs[0].Role != "measured" || rep.Runs[1].Role != "baseline" {
+		t.Errorf("run roles = %q, %q", rep.Runs[0].Role, rep.Runs[1].Role)
+	}
+	if rep.Comparison == nil {
+		t.Error("baseline run present but comparison missing")
+	}
+	for _, run := range rep.Runs {
+		if err := run.Raw.CheckInvariants(); err != nil {
+			t.Errorf("run %q: %v", run.Role, err)
+		}
+		if run.Derived.CPI <= 0 {
+			t.Errorf("run %q: derived CPI = %g, want > 0", run.Role, run.Derived.CPI)
+		}
+	}
+}
+
+// TestJSONOmitsTextReport guards the schema contract in the other
+// direction: -json output must be pure JSON, no text tables mixed in.
+func TestJSONOmitsTextReport(t *testing.T) {
+	out, code := runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-nobase", "-json")
+	if code != 0 {
+		t.Fatalf("exit code = %d; output:\n%s", code, out)
+	}
+	if !strings.HasPrefix(out, "{") {
+		t.Errorf("-json output does not start with a JSON object:\n%s", out)
+	}
+	if strings.Contains(out, "epochs/1000 insts") {
+		t.Errorf("text report leaked into -json output:\n%s", out)
 	}
 }

@@ -52,6 +52,7 @@ import (
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/exp"
 	"ebcp/internal/mem"
+	"ebcp/internal/metrics"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
 	"ebcp/internal/trace"
@@ -239,6 +240,47 @@ type (
 // ExperimentProgressWriter adapts an io.Writer into an Options.Progress
 // callback printing one line per completed simulation.
 var ExperimentProgressWriter = exp.ProgressWriter
+
+// Metrics and machine-readable reports. A Result flattens into a
+// MetricsSnapshot (Result.Snapshot), which derives the paper's
+// evaluation metrics (Snapshot.Derive) and self-checks its counter
+// identities (Snapshot.CheckInvariants); reports bundle snapshots and
+// experiment grids into the schema-versioned document both commands
+// emit under -json.
+type (
+	// MetricsSnapshot is the flat raw-counter view of one run.
+	MetricsSnapshot = metrics.Snapshot
+	// DerivedMetrics are the paper's evaluation metrics computed from a
+	// snapshot.
+	DerivedMetrics = metrics.Derived
+	// MetricsHistogram is a fixed-bucket power-of-two histogram.
+	MetricsHistogram = metrics.Histogram
+	// MetricsRegistry bundles the histograms one run collects.
+	MetricsRegistry = metrics.Registry
+	// ReportV1 is the schema-versioned machine-readable report.
+	ReportV1 = metrics.ReportV1
+	// RunV1 is one simulation inside a ReportV1.
+	RunV1 = metrics.RunV1
+	// ComparisonV1 relates a measured RunV1 to its baseline.
+	ComparisonV1 = metrics.ComparisonV1
+	// GridV1 is one experiment table inside a ReportV1.
+	GridV1 = metrics.GridV1
+	// ConfigV1 records the simulation parameters of a RunV1.
+	ConfigV1 = metrics.ConfigV1
+)
+
+// ReportSchemaV1 identifies version 1 of the report schema.
+const ReportSchemaV1 = metrics.SchemaV1
+
+var (
+	// WriteJSON is the one JSON encoder all commands share (two-space
+	// indent, trailing newline); emitted documents round-trip through
+	// DecodeReportV1 byte-for-byte.
+	WriteJSON = metrics.WriteJSON
+	// DecodeReportV1 parses a ReportV1, rejecting unknown fields and
+	// unsupported schema versions.
+	DecodeReportV1 = metrics.DecodeReportV1
+)
 
 // Experiments returns every experiment in paper order (table1, fig4..fig9,
 // cmp, ablations).

@@ -12,6 +12,10 @@ type PBEntry struct {
 	// before ReadyAt is a partial hit: it must wait for the remaining
 	// latency instead of paying a full off-chip access.
 	ReadyAt uint64
+	// IssuedAt is the cycle the prefetch was requested; a demand hit at
+	// cycle now has used the prefetch now-IssuedAt cycles after issue
+	// (the raw timeliness datum the metrics layer histograms).
+	IssuedAt uint64
 	// TableIndex records which correlation-table entry generated the
 	// prefetch, so a hit can schedule the LRU-update write the paper
 	// describes (Section 3.4.3). Prefetchers that do not need write-back
@@ -113,6 +117,7 @@ func (b *PrefetchBuffer) Insert(l amo.Line, e PBEntry) {
 			if e.ReadyAt < set[i].entry.ReadyAt {
 				set[i].entry.ReadyAt = e.ReadyAt
 			}
+			set[i].entry.IssuedAt = e.IssuedAt
 			set[i].entry.TableIndex = e.TableIndex
 			set[i].lru = b.stamp
 			return

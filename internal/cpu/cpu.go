@@ -21,7 +21,10 @@
 // misses.
 package cpu
 
-import "ebcp/internal/ebcperr"
+import (
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/metrics"
+)
 
 // Config parameterizes the core model.
 type Config struct {
@@ -141,11 +144,25 @@ type Model struct {
 	inEpoch          bool
 	epochID          uint64
 	epochTriggerInst uint64
+	epochTriggerNow  uint64
 	epochCompletion  uint64
 	outstanding      int
 
 	stats Stats
+
+	// reg, when non-nil, receives the epoch histograms (length in cycles
+	// and misses overlapped) as each epoch closes. skipHist suppresses
+	// observing the one epoch that can straddle a ResetStats boundary:
+	// it belongs to neither window, so skipping it keeps the histogram
+	// counts exactly equal to stats.Epochs.
+	reg      *metrics.Registry
+	skipHist bool
 }
+
+// SetMetrics attaches a histogram registry the model populates as
+// epochs close (nil detaches it). Attaching a registry does not change
+// timing or counters in any way — the registry only observes.
+func (m *Model) SetMetrics(reg *metrics.Registry) { m.reg = reg }
 
 // New builds a core model. It returns an ErrInvalidConfig-classified
 // error if the configuration fails Validate.
@@ -189,6 +206,9 @@ func (m *Model) ResetStats() {
 	m.stats = Stats{}
 	m.baseNow = m.now
 	m.baseInsts = m.insts
+	// An epoch open across the boundary straddles both windows; its
+	// eventual close must not be observed by the histograms.
+	m.skipHist = m.inEpoch
 }
 
 func (m *Model) advanceCycles(insts uint64) {
@@ -247,6 +267,14 @@ func (m *Model) closeEpoch(r CloseReason) {
 		m.stats.StallByReason[r] += m.epochCompletion - m.now
 		m.now = m.epochCompletion
 	}
+	if m.reg != nil {
+		if m.skipHist {
+			m.skipHist = false
+		} else {
+			m.reg.EpochLen.Observe(m.now - m.epochTriggerNow)
+			m.reg.EpochMisses.Observe(uint64(m.outstanding))
+		}
+	}
 	m.inEpoch = false
 	m.outstanding = 0
 	m.stats.Closes[r]++
@@ -303,6 +331,7 @@ func (m *Model) Miss(completion uint64, ifetch bool) (newEpoch bool) {
 		m.epochID++
 		m.stats.Epochs++
 		m.epochTriggerInst = m.insts
+		m.epochTriggerNow = m.now
 		m.epochCompletion = completion
 		newEpoch = true
 	} else {

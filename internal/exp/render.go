@@ -12,6 +12,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"ebcp/internal/metrics"
 )
 
 // Row is one line of a report: a label and one value per column.
@@ -223,6 +225,40 @@ func (r *Report) RenderMarkdown(w io.Writer) error {
 	b.WriteString("\n")
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// GridV1 converts the report to its machine-readable form for a
+// ReportV1 document. NaN cells — failed or cancelled simulations, the
+// text renderer's "n/a" — become nil values, since NaN has no JSON
+// representation.
+func (r *Report) GridV1() metrics.GridV1 {
+	conv := func(rows []Row) []metrics.GridRowV1 {
+		if rows == nil {
+			return nil
+		}
+		out := make([]metrics.GridRowV1, len(rows))
+		for i, row := range rows {
+			vals := make([]*float64, len(row.Values))
+			for j, v := range row.Values {
+				if !math.IsNaN(v) {
+					c := v
+					vals[j] = &c
+				}
+			}
+			out[i] = metrics.GridRowV1{Label: row.Label, Values: vals}
+		}
+		return out
+	}
+	return metrics.GridV1{
+		ID:      r.ID,
+		Title:   r.Title,
+		Unit:    r.Unit,
+		Columns: r.Columns,
+		Rows:    conv(r.Rows),
+		Paper:   conv(r.Reference),
+		Notes:   r.Notes,
+		NACells: r.NACells(),
+	}
 }
 
 // RenderFormat dispatches on a format name: "text" (default), "csv" or

@@ -1,0 +1,101 @@
+// Package metrics is the simulator's telemetry layer: an
+// allocation-free registry of fixed-bucket histograms populated on the
+// simulation hot path, a flat Snapshot of every raw counter one run
+// produces, a Derived layer computing the paper's evaluation metrics
+// from any snapshot, and the schema-versioned machine-readable report
+// (ReportV1) every command emits under -json.
+//
+// The package is a leaf: it imports nothing from the simulator, so the
+// cpu, cache, prefetch and sim packages can all feed it without import
+// cycles.
+package metrics
+
+import "math/bits"
+
+// NumBuckets is the fixed bucket count of every histogram: bucket 0
+// holds the value 0, bucket i (0 < i < NumBuckets-1) holds values in
+// [2^(i-1), 2^i), and the last bucket absorbs everything larger.
+const NumBuckets = 32
+
+// Histogram is a power-of-two-bucket histogram with a fixed-size
+// backing array. The zero value is ready to use, Observe never
+// allocates, and histograms are plain value types: copying one
+// snapshots it, assigning the zero value resets it.
+type Histogram struct {
+	Count   uint64             `json:"count"`
+	Sum     uint64             `json:"sum"`
+	Buckets [NumBuckets]uint64 `json:"buckets"`
+}
+
+// bucketOf maps a value to its bucket index: 0 for 0, otherwise
+// bits.Len64 (so values in [2^(k-1), 2^k) land in bucket k), capped at
+// the last bucket.
+func bucketOf(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketBounds returns the half-open value range [lo, hi) of bucket i.
+// Bucket 0 is exactly {0}; the last bucket's hi saturates at MaxUint64.
+func BucketBounds(i int) (lo, hi uint64) {
+	switch {
+	case i <= 0:
+		return 0, 1
+	case i >= NumBuckets-1:
+		return 1 << (NumBuckets - 2), 1<<64 - 1
+	default:
+		return 1 << (i - 1), 1 << i
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	h.Buckets[bucketOf(v)]++
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Total sums the bucket counts. It equals Count by construction;
+// CheckInvariants asserts exactly that, so a snapshot whose buckets
+// were tampered with (or a schema bug dropping one) is caught.
+func (h *Histogram) Total() uint64 {
+	var n uint64
+	for _, b := range h.Buckets {
+		n += b
+	}
+	return n
+}
+
+// Registry holds the histograms the simulator populates during the
+// measured window. One registry serves one hardware thread (lane);
+// Reset is plain field zeroing and Observe never allocates, so the
+// registry stays enabled on the hot path at full simulation speed.
+type Registry struct {
+	// EpochLen observes, for each epoch closed in the window, its length
+	// in cycles: from the off-chip miss that triggered it to epoch
+	// completion, stall included.
+	EpochLen Histogram `json:"epoch_len_cycles"`
+	// EpochMisses observes, for each closed epoch, how many off-chip
+	// misses it overlapped (the trigger plus the joins) — the paper's
+	// misses-per-epoch distribution.
+	EpochMisses Histogram `json:"misses_per_epoch"`
+	// PBUseDist observes, for every prefetch-buffer hit, the cycles from
+	// the prefetch's issue to its demand use — the raw timeliness data:
+	// small distances are late-ish prefetches, large ones risk eviction
+	// before use.
+	PBUseDist Histogram `json:"prefetch_to_use_cycles"`
+}
+
+// Reset zeroes every histogram (at the warmup/measurement boundary).
+func (r *Registry) Reset() { *r = Registry{} }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1 << 29, 30},
+		{1<<30 - 1, 30},
+		{1 << 30, NumBuckets - 1},   // first value of the saturating bucket
+		{1 << 40, NumBuckets - 1},   // far past it
+		{1<<64 - 1, NumBuckets - 1}, // MaxUint64
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBucketBoundsCoverAllValues(t *testing.T) {
+	// Every bucket's range must contain exactly the values bucketOf maps
+	// to it: the low bound maps in, the value just below it maps lower.
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if bucketOf(lo) != i {
+			t.Errorf("bucket %d: low bound %d maps to bucket %d", i, lo, bucketOf(lo))
+		}
+		if i > 0 {
+			if bucketOf(lo-1) != i-1 {
+				t.Errorf("bucket %d: %d should fall in bucket %d, got %d", i, lo-1, i-1, bucketOf(lo-1))
+			}
+		}
+		if i < NumBuckets-1 {
+			if bucketOf(hi-1) != i {
+				t.Errorf("bucket %d: high bound-1 %d maps to bucket %d", i, hi-1, bucketOf(hi-1))
+			}
+			if bucketOf(hi) != i+1 {
+				t.Errorf("bucket %d: high bound %d maps to bucket %d, want %d", i, hi, bucketOf(hi), i+1)
+			}
+		}
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{0, 1, 1, 2, 500, 1 << 35} {
+		h.Observe(v)
+	}
+	if h.Count != 6 {
+		t.Errorf("Count = %d, want 6", h.Count)
+	}
+	if want := uint64(0 + 1 + 1 + 2 + 500 + 1<<35); h.Sum != want {
+		t.Errorf("Sum = %d, want %d", h.Sum, want)
+	}
+	if h.Total() != h.Count {
+		t.Errorf("Total() = %d != Count %d", h.Total(), h.Count)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 2 || h.Buckets[2] != 1 || h.Buckets[NumBuckets-1] != 1 {
+		t.Errorf("unexpected bucket layout: %v", h.Buckets)
+	}
+	if got, want := h.Mean(), float64(h.Sum)/6; got != want {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	var empty Histogram
+	if empty.Mean() != 0 {
+		t.Errorf("empty Mean = %v, want 0", empty.Mean())
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	var r Registry
+	r.EpochLen.Observe(10)
+	r.EpochMisses.Observe(3)
+	r.PBUseDist.Observe(700)
+	r.Reset()
+	if r != (Registry{}) {
+		t.Errorf("Reset left state behind: %+v", r)
+	}
+}
+
+func TestObserveDoesNotAllocate(t *testing.T) {
+	var r Registry
+	v := uint64(1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.EpochLen.Observe(v)
+		r.EpochMisses.Observe(v)
+		r.PBUseDist.Observe(v)
+		v = v*2 + 1
+	})
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,286 @@
+package metrics
+
+import "fmt"
+
+// NumCloseReasons is the number of epoch window-termination conditions
+// the core model distinguishes (cpu.CloseReason); the per-reason arrays
+// below are indexed in its declaration order: window-full, dependent,
+// serializing, ifetch, branch, MSHR-full, drain.
+const NumCloseReasons = 7
+
+// CoreCounters are the raw core-model counters of one lane's measured
+// window.
+type CoreCounters struct {
+	Instructions     uint64                  `json:"instructions"`
+	Cycles           uint64                  `json:"cycles"`
+	OnChipCycles     uint64                  `json:"on_chip_cycles"`
+	OverlappedCycles uint64                  `json:"overlapped_cycles"`
+	StallCycles      uint64                  `json:"stall_cycles"`
+	Epochs           uint64                  `json:"epochs"`
+	MissesOverlapped uint64                  `json:"misses_overlapped"`
+	ClosesByReason   [NumCloseReasons]uint64 `json:"closes_by_reason"`
+	StallByReason    [NumCloseReasons]uint64 `json:"stall_by_reason"`
+}
+
+// CacheCounters are the raw event counters of one cache. Hits is stored
+// explicitly (not recomputed on demand) so the accesses = hits + misses
+// reconciliation is a real check on the snapshot, not a tautology.
+type CacheCounters struct {
+	Accesses       uint64 `json:"accesses"`
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Fills          uint64 `json:"fills"`
+	Evictions      uint64 `json:"evictions"`
+	DirtyEvictions uint64 `json:"dirty_evictions"`
+}
+
+// PBCounters are the prefetch-buffer event counters.
+type PBCounters struct {
+	Inserts       uint64 `json:"inserts"`
+	Hits          uint64 `json:"hits"`
+	PartialHits   uint64 `json:"partial_hits"`
+	Evictions     uint64 `json:"evictions"`
+	Replaced      uint64 `json:"replaced"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// PFCounters are the prefetcher activity counters.
+type PFCounters struct {
+	Issued      uint64 `json:"issued"`
+	Dropped     uint64 `json:"dropped"`
+	Redundant   uint64 `json:"redundant"`
+	TableReads  uint64 `json:"table_reads"`
+	TableWrites uint64 `json:"table_writes"`
+}
+
+// MemClassCounters are one bandwidth class's memory-system counters.
+type MemClassCounters struct {
+	Reads      uint64 `json:"reads"`
+	Writes     uint64 `json:"writes"`
+	ReadDrops  uint64 `json:"read_drops"`
+	WriteDrops uint64 `json:"write_drops"`
+}
+
+// MemCounters name the memory system's four priority classes explicitly
+// (rather than as an indexed array), so the JSON is self-describing.
+type MemCounters struct {
+	Demand          MemClassCounters `json:"demand"`
+	TableRead       MemClassCounters `json:"table_read"`
+	Prefetch        MemClassCounters `json:"prefetch"`
+	TableWrite      MemClassCounters `json:"table_write"`
+	ReadBusyCycles  uint64           `json:"read_busy_cycles"`
+	WriteBusyCycles uint64           `json:"write_busy_cycles"`
+}
+
+// Snapshot is the complete raw-counter view of one single-core run's
+// measured window: everything sim.Result knows, flattened into
+// schema-stable leaf structs. Snapshots are built by Result.Snapshot,
+// serialized inside RunV1, and are what Derive and CheckInvariants
+// operate on.
+type Snapshot struct {
+	Prefetcher       string `json:"prefetcher"`
+	WarmupIncomplete bool   `json:"warmup_incomplete"`
+
+	Core CoreCounters  `json:"core"`
+	L1I  CacheCounters `json:"l1i"`
+	L1D  CacheCounters `json:"l1d"`
+	L2   CacheCounters `json:"l2"`
+
+	// Off-chip demand misses by kind (merged/duplicate excluded).
+	L2MissIFetch uint64 `json:"l2_miss_ifetch"`
+	L2MissLoad   uint64 `json:"l2_miss_load"`
+	L2MissStore  uint64 `json:"l2_miss_store"`
+	// Prefetch-buffer hits by kind (full + partial).
+	PBHitIFetch uint64 `json:"pb_hit_ifetch"`
+	PBHitLoad   uint64 `json:"pb_hit_load"`
+
+	PB  PBCounters  `json:"pb"`
+	PF  PFCounters  `json:"pf"`
+	Mem MemCounters `json:"mem"`
+
+	Hist Registry `json:"histograms"`
+}
+
+// Derived are the paper's evaluation metrics computed from a Snapshot.
+// DESIGN.md ("Derived metrics and where they appear in the paper") maps
+// each field to its table or figure.
+type Derived struct {
+	// CPI is overall cycles per instruction (Table 1 row 1).
+	CPI float64 `json:"cpi"`
+	// EPKI is epochs per 1000 instructions (Table 1 row 2).
+	EPKI float64 `json:"epochs_per_1k_insts"`
+	// IFetchMPKI / LoadMPKI are off-chip instruction/load misses per
+	// 1000 instructions (Table 1 rows 3-4).
+	IFetchMPKI float64 `json:"l2_inst_mpki"`
+	LoadMPKI   float64 `json:"l2_load_mpki"`
+	// Overlap is the fraction of on-chip cycles hidden under epochs.
+	Overlap float64 `json:"overlap"`
+	// MeanEpochCycles / MeanEpochMisses summarize the epoch histograms.
+	MeanEpochCycles float64 `json:"mean_epoch_cycles"`
+	MeanEpochMisses float64 `json:"mean_epoch_misses"`
+	// Coverage is PB hits / would-be baseline misses (Fig. 5).
+	Coverage float64 `json:"coverage"`
+	// Accuracy is useful prefetches / issued prefetches (Fig. 5).
+	Accuracy float64 `json:"accuracy"`
+	// Timeliness split, each a fraction of issued prefetches: OnTime
+	// prefetches were used after their data arrived, Late ones were hit
+	// while still in flight (partial hits), Early ones were evicted
+	// unused. The three need not sum to 1 — the remainder is still
+	// resident (or invalidated) at the end of the window.
+	TimelyOnTime float64 `json:"timely_on_time"`
+	TimelyLate   float64 `json:"timely_late"`
+	TimelyEarly  float64 `json:"timely_early"`
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Derive computes the paper's metrics from the raw counters.
+func (s *Snapshot) Derive() Derived {
+	pbHits := s.PBHitIFetch + s.PBHitLoad
+	return Derived{
+		CPI:             ratio(s.Core.Cycles, s.Core.Instructions),
+		EPKI:            1000 * ratio(s.Core.Epochs, s.Core.Instructions),
+		IFetchMPKI:      1000 * ratio(s.L2MissIFetch, s.Core.Instructions),
+		LoadMPKI:        1000 * ratio(s.L2MissLoad, s.Core.Instructions),
+		Overlap:         ratio(s.Core.OverlappedCycles, s.Core.OnChipCycles),
+		MeanEpochCycles: s.Hist.EpochLen.Mean(),
+		MeanEpochMisses: s.Hist.EpochMisses.Mean(),
+		Coverage:        ratio(pbHits, pbHits+s.L2MissIFetch+s.L2MissLoad),
+		Accuracy:        ratio(pbHits, s.PF.Issued),
+		TimelyOnTime:    ratio(s.PB.Hits, s.PF.Issued),
+		TimelyLate:      ratio(s.PB.PartialHits, s.PF.Issued),
+		TimelyEarly:     ratio(s.PB.Evictions, s.PF.Issued),
+	}
+}
+
+// CheckInvariants verifies that the snapshot's counters reconcile with
+// each other: per-cache accesses = hits + misses, kind-split totals
+// match their aggregate counters, prefetch-buffer activity is bounded
+// by prefetches issued, every derived fraction lies in [0, 1], and
+// every histogram's bucket counts sum to its Count — with the epoch
+// histograms tied exactly to the core's epoch counter.
+//
+// The invariants hold for snapshots of single-core runs (sim.Run). A
+// CMP lane's snapshot duplicates the *shared* PB/PF/memory counters
+// into every lane, so its cross-component identities intentionally do
+// not reconcile per lane; do not call this on CMP per-core snapshots.
+func (s *Snapshot) CheckInvariants() error {
+	for _, c := range []struct {
+		name string
+		c    CacheCounters
+	}{{"l1i", s.L1I}, {"l1d", s.L1D}, {"l2", s.L2}} {
+		if c.c.Hits+c.c.Misses != c.c.Accesses {
+			return fmt.Errorf("metrics: %s hits %d + misses %d != accesses %d", c.name, c.c.Hits, c.c.Misses, c.c.Accesses)
+		}
+		if c.c.Evictions > c.c.Fills {
+			return fmt.Errorf("metrics: %s evictions %d exceed fills %d", c.name, c.c.Evictions, c.c.Fills)
+		}
+		if c.c.DirtyEvictions > c.c.Evictions {
+			return fmt.Errorf("metrics: %s dirty evictions %d exceed evictions %d", c.name, c.c.DirtyEvictions, c.c.Evictions)
+		}
+	}
+
+	// Every L2 miss is resolved exactly one way: a prefetch-buffer hit
+	// (full or partial) or a real off-chip miss of some kind.
+	resolved := s.PB.Hits + s.PB.PartialHits + s.L2MissIFetch + s.L2MissLoad + s.L2MissStore
+	if resolved != s.L2.Misses {
+		return fmt.Errorf("metrics: L2 misses %d != PB hits %d+%d + kind-split misses %d+%d+%d",
+			s.L2.Misses, s.PB.Hits, s.PB.PartialHits, s.L2MissIFetch, s.L2MissLoad, s.L2MissStore)
+	}
+	pbHits := s.PBHitIFetch + s.PBHitLoad
+	if pbHits != s.PB.Hits+s.PB.PartialHits {
+		return fmt.Errorf("metrics: kind-split PB hits %d+%d != PB hits %d + partial %d",
+			s.PBHitIFetch, s.PBHitLoad, s.PB.Hits, s.PB.PartialHits)
+	}
+
+	// Prefetch-buffer flow: lines enter only via issued prefetches (the
+	// context filters already-present lines, so every issue is an
+	// insert) and each can be used at most once.
+	if s.PB.Inserts != s.PF.Issued {
+		return fmt.Errorf("metrics: PB inserts %d != prefetches issued %d", s.PB.Inserts, s.PF.Issued)
+	}
+	if pbHits > s.PF.Issued {
+		return fmt.Errorf("metrics: PB hits %d exceed prefetches issued %d", pbHits, s.PF.Issued)
+	}
+	if s.Mem.Prefetch.Reads != s.PF.Issued {
+		return fmt.Errorf("metrics: prefetch-class memory reads %d != prefetches issued %d", s.Mem.Prefetch.Reads, s.PF.Issued)
+	}
+	if s.Mem.Prefetch.ReadDrops != s.PF.Dropped {
+		return fmt.Errorf("metrics: prefetch-class read drops %d != prefetches dropped %d", s.Mem.Prefetch.ReadDrops, s.PF.Dropped)
+	}
+
+	// Core time: the clock only advances through on-chip execution and
+	// epoch stalls, and stall cycles are fully attributed to reasons.
+	if s.Core.OnChipCycles+s.Core.StallCycles != s.Core.Cycles {
+		return fmt.Errorf("metrics: on-chip %d + stall %d cycles != total %d",
+			s.Core.OnChipCycles, s.Core.StallCycles, s.Core.Cycles)
+	}
+	if s.Core.OverlappedCycles > s.Core.OnChipCycles {
+		return fmt.Errorf("metrics: overlapped cycles %d exceed on-chip cycles %d", s.Core.OverlappedCycles, s.Core.OnChipCycles)
+	}
+	var stallSum uint64
+	for _, v := range s.Core.StallByReason {
+		stallSum += v
+	}
+	if stallSum != s.Core.StallCycles {
+		return fmt.Errorf("metrics: stall-by-reason sum %d != stall cycles %d", stallSum, s.Core.StallCycles)
+	}
+
+	// Histograms: bucket sums equal counts, and the epoch histograms
+	// observed exactly the epochs the core counted. (An epoch open
+	// across the warmup reset closes post-reset but belongs to neither
+	// window; the core model skips observing it, keeping the identity
+	// exact.) Closes may exceed Epochs by that one skipped epoch.
+	for _, h := range []struct {
+		name string
+		h    *Histogram
+	}{
+		{"epoch_len_cycles", &s.Hist.EpochLen},
+		{"misses_per_epoch", &s.Hist.EpochMisses},
+		{"prefetch_to_use_cycles", &s.Hist.PBUseDist},
+	} {
+		if h.h.Total() != h.h.Count {
+			return fmt.Errorf("metrics: histogram %s bucket sum %d != count %d", h.name, h.h.Total(), h.h.Count)
+		}
+	}
+	if s.Hist.EpochLen.Count != s.Core.Epochs {
+		return fmt.Errorf("metrics: epoch-length histogram count %d != epochs %d", s.Hist.EpochLen.Count, s.Core.Epochs)
+	}
+	if s.Hist.EpochMisses.Count != s.Core.Epochs {
+		return fmt.Errorf("metrics: misses-per-epoch histogram count %d != epochs %d", s.Hist.EpochMisses.Count, s.Core.Epochs)
+	}
+	if s.Hist.PBUseDist.Count != pbHits {
+		return fmt.Errorf("metrics: prefetch-to-use histogram count %d != PB hits %d", s.Hist.PBUseDist.Count, pbHits)
+	}
+	var closeSum uint64
+	for _, v := range s.Core.ClosesByReason {
+		closeSum += v
+	}
+	if closeSum < s.Core.Epochs || closeSum > s.Core.Epochs+1 {
+		return fmt.Errorf("metrics: epoch closes %d inconsistent with epochs %d", closeSum, s.Core.Epochs)
+	}
+
+	// Derived fractions are probabilities.
+	d := s.Derive()
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"overlap", d.Overlap},
+		{"coverage", d.Coverage},
+		{"accuracy", d.Accuracy},
+		{"timely_on_time", d.TimelyOnTime},
+		{"timely_late", d.TimelyLate},
+		{"timely_early", d.TimelyEarly},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("metrics: derived %s = %v outside [0, 1]", f.name, f.v)
+		}
+	}
+	return nil
+}

@@ -148,7 +148,7 @@ func (c *Context) Prefetch(now uint64, line amo.Line, tableIndex int64) bool {
 		c.stats.Dropped++
 		return false
 	}
-	c.Buffer.Insert(line, cache.PBEntry{ReadyAt: completion, TableIndex: tableIndex})
+	c.Buffer.Insert(line, cache.PBEntry{ReadyAt: completion, IssuedAt: now, TableIndex: tableIndex})
 	c.stats.Issued++
 	return true
 }

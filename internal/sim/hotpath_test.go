@@ -152,4 +152,24 @@ func TestSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady state allocates %.4f allocs/record (%.1f per %d-record batch), want ~0",
 			perRecord, avg, batchSize)
 	}
+
+	// The allocation contract covers the *instrumented* path: the metrics
+	// registry must actually have been recording during the loop above,
+	// not sitting disabled while the test vouches for a cold path.
+	if r.lane.reg.EpochLen.Count == 0 {
+		t.Error("metrics registry recorded no epochs: the alloc test exercised an uninstrumented path")
+	}
+	if got, want := r.lane.reg.PBUseDist.Count, r.pb.Stats().Hits+r.pb.Stats().PartialHits; got != want {
+		t.Errorf("PB use-distance observations %d != PB hits %d", got, want)
+	}
+
+	// Snapshotting and deriving are read paths that reports may call in
+	// loops; they must not allocate either.
+	res := r.laneResult(r.lane)
+	if avg := testing.AllocsPerRun(100, func() {
+		snap := res.Snapshot()
+		_ = snap.Derive()
+	}); avg > 0 {
+		t.Errorf("Snapshot+Derive allocates %.1f per call, want 0", avg)
+	}
 }

@@ -14,6 +14,7 @@ import (
 	"ebcp/internal/cpu"
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/mem"
+	"ebcp/internal/metrics"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/trace"
 )
@@ -111,6 +112,11 @@ type Result struct {
 	// Prefetch-buffer hits by kind (full + partial).
 	PBHitsIFetch uint64
 	PBHitsLoad   uint64
+
+	// Hist carries the fixed-bucket histograms collected for this lane
+	// during the measured window: epoch length in cycles, misses per
+	// epoch, and prefetch-to-use distance (timeliness).
+	Hist metrics.Registry
 
 	// WarmupIncomplete reports that the trace source was exhausted before
 	// WarmInsts instructions retired: statistics were never reset, so the
@@ -259,6 +265,11 @@ type lane struct {
 	// Kind-resolved counters for the measurement window.
 	missIF, missLD, missST uint64
 	pbHitIF, pbHitLD       uint64
+
+	// reg collects the lane's histograms: the core model feeds the epoch
+	// histograms as epochs close, stepRead feeds the prefetch-to-use
+	// distances. Observation is allocation-free and changes no timing.
+	reg metrics.Registry
 }
 
 func newLane(id int, cfg Config) (*lane, error) {
@@ -274,13 +285,15 @@ func newLane(id int, cfg Config) (*lane, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &lane{
+	l := &lane{
 		id:          id,
 		core:        core,
 		l1i:         l1i,
 		l1d:         l1d,
 		outstanding: newMissSet(cfg.Core.MaxOutstanding),
-	}, nil
+	}
+	core.SetMetrics(&l.reg)
+	return l, nil
 }
 
 func (l *lane) resetStats() {
@@ -289,6 +302,7 @@ func (l *lane) resetStats() {
 	l.l1d.ResetStats()
 	l.missIF, l.missLD, l.missST = 0, 0, 0
 	l.pbHitIF, l.pbHitLD = 0, 0
+	l.reg.Reset()
 }
 
 // Runner is an assembled system ready to execute a trace.
@@ -423,6 +437,7 @@ func (r *Runner) laneResult(l *lane) Result {
 		L2MissesStore:  l.missST,
 		PBHitsIFetch:   l.pbHitIF,
 		PBHitsLoad:     l.pbHitLD,
+		Hist:           l.reg,
 	}
 }
 
@@ -531,7 +546,11 @@ func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 		a.L2Hit = true
 
 	default:
-		e, hit, partial := r.pb.Hit(line, l.core.Now())
+		probeAt := l.core.Now()
+		e, hit, partial := r.pb.Hit(line, probeAt)
+		if hit {
+			l.observeUseDist(probeAt, e.IssuedAt)
+		}
 		switch {
 		case hit && !partial:
 			// Prefetch buffer hit: the line is on chip; promote it to the
@@ -580,6 +599,17 @@ func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 	a.Now = l.core.Now()
 	a.EpochID = l.core.EpochID()
 	r.pf.OnAccess(a, r.ctx)
+}
+
+// observeUseDist records how long after issue a prefetch was used. On a
+// CMP the prefetch may have been issued under another lane's (larger)
+// clock, so the distance clamps at zero.
+func (l *lane) observeUseDist(useAt, issuedAt uint64) {
+	var d uint64
+	if useAt > issuedAt {
+		d = useAt - issuedAt
+	}
+	l.reg.PBUseDist.Observe(d)
 }
 
 func (l *lane) countPBHit(ifetch bool) {

@@ -1,0 +1,96 @@
+// Result → metrics mapping: Snapshot flattens a Result's raw counters
+// into the schema-stable metrics.Snapshot the report layer serializes,
+// and MetricsConfig extracts the report-worthy configuration fields.
+package sim
+
+import (
+	"ebcp/internal/cache"
+	"ebcp/internal/mem"
+	"ebcp/internal/metrics"
+)
+
+func cacheCounters(s cache.Stats) metrics.CacheCounters {
+	return metrics.CacheCounters{
+		Accesses:       s.Accesses,
+		Hits:           s.Accesses - s.Misses,
+		Misses:         s.Misses,
+		Fills:          s.Fills,
+		Evictions:      s.Evictions,
+		DirtyEvictions: s.DirtyEvictions,
+	}
+}
+
+func memClassCounters(s mem.ClassStats) metrics.MemClassCounters {
+	return metrics.MemClassCounters{
+		Reads:      s.Reads,
+		Writes:     s.Writes,
+		ReadDrops:  s.ReadDrops,
+		WriteDrops: s.WriteDrops,
+	}
+}
+
+// Snapshot flattens the result into the metrics layer's raw-counter
+// form — the input of metrics.Derive, metrics.CheckInvariants and the
+// JSON report. It allocates nothing: the snapshot is a plain value.
+func (r Result) Snapshot() metrics.Snapshot {
+	s := metrics.Snapshot{
+		Prefetcher:       r.Prefetcher,
+		WarmupIncomplete: r.WarmupIncomplete,
+		Core: metrics.CoreCounters{
+			Instructions:     r.Core.Instructions,
+			Cycles:           r.Core.Cycles,
+			OnChipCycles:     r.Core.OnChipCycles,
+			OverlappedCycles: r.Core.OverlappedCycles,
+			StallCycles:      r.Core.StallCycles,
+			Epochs:           r.Core.Epochs,
+			MissesOverlapped: r.Core.MissesOverlapped,
+		},
+		L1I:          cacheCounters(r.L1I),
+		L1D:          cacheCounters(r.L1D),
+		L2:           cacheCounters(r.L2),
+		L2MissIFetch: r.L2MissesIFetch,
+		L2MissLoad:   r.L2MissesLoad,
+		L2MissStore:  r.L2MissesStore,
+		PBHitIFetch:  r.PBHitsIFetch,
+		PBHitLoad:    r.PBHitsLoad,
+		PB: metrics.PBCounters{
+			Inserts:       r.PB.Inserts,
+			Hits:          r.PB.Hits,
+			PartialHits:   r.PB.PartialHits,
+			Evictions:     r.PB.Evictions,
+			Replaced:      r.PB.Replaced,
+			Invalidations: r.PB.Invalidations,
+		},
+		PF: metrics.PFCounters{
+			Issued:      r.PF.Issued,
+			Dropped:     r.PF.Dropped,
+			Redundant:   r.PF.Redundant,
+			TableReads:  r.PF.TableReads,
+			TableWrites: r.PF.TableWrites,
+		},
+		Mem: metrics.MemCounters{
+			Demand:          memClassCounters(r.Mem.PerClass[mem.Demand]),
+			TableRead:       memClassCounters(r.Mem.PerClass[mem.TableRead]),
+			Prefetch:        memClassCounters(r.Mem.PerClass[mem.PrefetchData]),
+			TableWrite:      memClassCounters(r.Mem.PerClass[mem.TableWrite]),
+			ReadBusyCycles:  r.Mem.ReadBusyCycles,
+			WriteBusyCycles: r.Mem.WriteBusyCycles,
+		},
+		Hist: r.Hist,
+	}
+	copy(s.Core.ClosesByReason[:], r.Core.Closes[:])
+	copy(s.Core.StallByReason[:], r.Core.StallByReason[:])
+	return s
+}
+
+// MetricsConfig extracts the configuration fields a JSON report records
+// alongside each run.
+func (c Config) MetricsConfig() metrics.ConfigV1 {
+	return metrics.ConfigV1{
+		WarmInsts:    c.WarmInsts,
+		MeasureInsts: c.MeasureInsts,
+		PBEntries:    c.PBEntries,
+		ReadGBps:     c.Mem.ReadGBps,
+		WriteGBps:    c.Mem.WriteGBps,
+	}
+}
