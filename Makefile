@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet lint-nopanic cover race race-short fuzz bench-parallel bench-json
+.PHONY: tier1 vet lint cover race race-short fuzz bench-parallel bench-json
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -12,16 +12,13 @@ tier1:
 vet:
 	go vet ./...
 
-# The library error-handling contract (DESIGN.md "Error handling
-# contract"): non-test library code must return typed errors, never
-# panic. Fails listing the offending lines if a new panic( sneaks in.
-lint-nopanic:
-	@bad=$$(grep -rn "panic(" internal --include='*.go' | grep -v _test.go); \
-	if [ -n "$$bad" ]; then \
-		echo "lint-nopanic: panic() in non-test library code:"; \
-		echo "$$bad"; \
-		exit 1; \
-	fi
+# Static analysis: go vet plus the repo's own analyzer suite
+# (internal/analysis, DESIGN.md §8 "Enforced invariants") — nopanic,
+# hotpathalloc, errwrap and determinism, with positioned
+# file:line:col: [check] diagnostics. This supersedes the old
+# grep-based lint-nopanic target.
+lint: vet
+	go run ./cmd/ebcplint ./...
 
 # Statement-coverage floor for the measurement-critical packages: the
 # metrics layer (every report number flows through it) and the simulator
@@ -41,16 +38,16 @@ cover:
 	done; \
 	exit $$fail
 
-# Full suite under the race detector (plus vet, the no-panic lint and
-# the coverage floor). Slow — roughly ten minutes on one core; the
+# Full suite under the race detector (plus the lint gate and the
+# coverage floor). Slow — roughly ten minutes on one core; the
 # determinism, single-flight and cancellation tests in
 # internal/exp/parallel_test.go are the interesting part.
-race: vet lint-nopanic cover
+race: lint cover
 	go test -race ./...
 
 # The quick pre-push variant: skips the three slowest experiment shape
 # tests (Fig8, CMP, ablations) but keeps every concurrency test.
-race-short: vet lint-nopanic
+race-short: lint
 	go test -race -short ./...
 
 # Fuzz the condensed-trace codec for a short while (seed corpus lives in

@@ -1,0 +1,53 @@
+// ebcplint runs the repo's analyzer suite (internal/analysis) over the
+// enclosing module and prints one positioned diagnostic per line:
+//
+//	file:line:col: [check] message
+//
+// It exits 0 when the tree is clean and 1 when any analyzer fires (or
+// the module cannot be loaded). The conventional invocation is
+//
+//	ebcplint ./...
+//
+// matching go vet; any arguments are accepted and ignored — the suite
+// always analyzes the whole module containing the working directory,
+// because the invariants it enforces (no-panic, hot-path alloc-freedom,
+// typed errors, determinism) are module-wide contracts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ebcp/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ebcplint [./...]\nruns the ebcp analyzer suite over the enclosing module\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	diags, err := analysis.RunModule(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebcplint: %v\n", err)
+		os.Exit(1)
+	}
+	wd, _ := os.Getwd()
+	for _, d := range diags {
+		// Print module-root-relative paths when possible: stable across
+		// machines and clickable from the repo root.
+		if wd != "" {
+			if rel, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ebcplint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

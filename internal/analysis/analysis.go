@@ -1,0 +1,258 @@
+// Package analysis is the repo's static-analysis driver: a stdlib-only
+// (go/parser, go/ast, go/token — no golang.org/x/tools) framework that
+// loads the module's packages syntactically and runs a set of analyzers
+// over them, reporting positioned diagnostics. It mechanically enforces
+// the invariants the previous PRs established by convention: library
+// code never panics, the annotated hot path never allocates, errors are
+// classified through ebcperr, and render/report paths are deterministic.
+//
+// Two comment directives steer it (grammar documented in DESIGN.md §8):
+//
+//	//ebcp:hotpath
+//	    In a function's doc comment: opts the function into the
+//	    hotpathalloc analyzer's allocation ban.
+//
+//	//ebcp:allow <check>[,<check>] <justification>
+//	    Suppresses the named checks. In a declaration's doc comment it
+//	    covers the whole declaration; inline it covers its own line and
+//	    the next. The justification is mandatory — an allow without one
+//	    is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	Pos     token.Position
+	Check   string
+	Message string
+}
+
+// String formats the diagnostic the way cmd/ebcplint prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Pkg is one loaded package: the parsed non-test files of a single
+// directory, plus where that directory sits relative to the module root
+// (slash-separated; "" for the root package). Analyzers scope their
+// rules on Rel, so testdata packages can be loaded under a virtual path
+// to exercise path-scoped rules.
+type Pkg struct {
+	Fset  *token.FileSet
+	Rel   string
+	Name  string
+	Files []*ast.File
+}
+
+// Analyzer is one check: it inspects a package and returns raw
+// diagnostics. The driver applies //ebcp:allow suppression afterwards.
+type Analyzer interface {
+	Name() string
+	Check(p *Pkg) []Diagnostic
+}
+
+// All returns every analyzer in the suite.
+func All() []Analyzer {
+	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}}
+}
+
+// Run executes the analyzers over the packages, drops diagnostics
+// suppressed by //ebcp:allow directives, adds driver diagnostics for
+// malformed directives (an allow without a justification), and returns
+// the remainder sorted by position.
+func Run(pkgs []*Pkg, analyzers []Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		allows, bad := collectAllows(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Check(p) {
+				if !allows.suppressed(d.Check, d.Pos) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// allowDirective is the parsed form of one //ebcp:allow comment: the
+// checks it suppresses and the line span it covers within its file.
+type allowDirective struct {
+	checks   []string
+	from, to int
+}
+
+// allowSet holds every allow directive in a package, keyed by filename.
+type allowSet map[string][]allowDirective
+
+func (s allowSet) suppressed(check string, pos token.Position) bool {
+	for _, d := range s[pos.Filename] {
+		if pos.Line < d.from || pos.Line > d.to {
+			continue
+		}
+		for _, c := range d.checks {
+			if c == check {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const (
+	allowPrefix   = "//ebcp:allow"
+	hotpathMarker = "//ebcp:hotpath"
+)
+
+// collectAllows parses every //ebcp:allow directive in the package. A
+// directive in a declaration's doc comment covers the declaration's
+// whole line span; anywhere else it covers its own line and the next.
+// Directives missing a check name or a justification come back as
+// driver diagnostics instead of silently suppressing nothing.
+func collectAllows(p *Pkg) (allowSet, []Diagnostic) {
+	set := allowSet{}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		docSpan := docSpans(p.Fset, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				text := c.Text
+				// A `// want` trailer is test-harness expectation text, not
+				// part of the directive (and never its justification).
+				if i := strings.Index(text, "// want"); i > 0 {
+					text = strings.TrimRight(text[:i], " \t")
+				}
+				rest := strings.TrimPrefix(text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //ebcp:allowance — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Diagnostic{pos, "allow", "ebcp:allow needs a check name and a justification"})
+					continue
+				}
+				checks := strings.Split(fields[0], ",")
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{pos, "allow",
+						fmt.Sprintf("ebcp:allow %s needs a justification", fields[0])})
+					continue
+				}
+				d := allowDirective{checks: checks, from: pos.Line, to: pos.Line + 1}
+				if span, ok := docSpan[cg]; ok {
+					d.from, d.to = span[0], span[1]
+				}
+				set[pos.Filename] = append(set[pos.Filename], d)
+			}
+		}
+	}
+	return set, bad
+}
+
+// docSpans maps each top-level declaration's doc comment group to the
+// line span [doc start, decl end] it governs.
+func docSpans(fset *token.FileSet, f *ast.File) map[*ast.CommentGroup][2]int {
+	spans := map[*ast.CommentGroup][2]int{}
+	add := func(doc *ast.CommentGroup, end token.Pos) {
+		if doc == nil {
+			return
+		}
+		spans[doc] = [2]int{fset.Position(doc.Pos()).Line, fset.Position(end).Line}
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			add(d.Doc, d.End())
+		case *ast.GenDecl:
+			add(d.Doc, d.End())
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.ValueSpec:
+					add(s.Doc, s.End())
+				case *ast.TypeSpec:
+					add(s.Doc, s.End())
+				}
+			}
+		}
+	}
+	return spans
+}
+
+// isHotpath reports whether a function declaration carries the
+// //ebcp:hotpath directive in its doc comment.
+func isHotpath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == hotpathMarker {
+			return true
+		}
+	}
+	return false
+}
+
+// importNames maps each local import name in a file to its import path,
+// and reports the paths that are dot-imported. A plain `import "os"`
+// yields {"os": "os"}; `import o "os"` yields {"o": "os"}.
+func importNames(f *ast.File) (named map[string]string, dot map[string]bool) {
+	named = map[string]string{}
+	dot = map[string]bool{}
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		switch {
+		case imp.Name == nil:
+			base := path
+			if i := strings.LastIndex(base, "/"); i >= 0 {
+				base = base[i+1:]
+			}
+			named[base] = path
+		case imp.Name.Name == ".":
+			dot[path] = true
+		case imp.Name.Name == "_":
+		default:
+			named[imp.Name.Name] = path
+		}
+	}
+	return named, dot
+}
+
+// selectorOn reports whether expr is a selector pkg.Name on the given
+// import path in this file, using the file's import table. Only
+// unresolved base idents count: a local variable shadowing the package
+// name resolves to an object and is not a package selector.
+func selectorOn(expr ast.Expr, named map[string]string, path, name string) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || base.Obj != nil {
+		return false
+	}
+	return named[base.Name] == path
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture parses one testdata directory under a virtual module
+// path, so path-scoped rules (errwrap's internal/*, determinism's
+// render-path packages) fire exactly as they would on real code.
+func loadFixture(t *testing.T, dir, virtualRel string) *Pkg {
+	t.Helper()
+	p, err := LoadDir(token.NewFileSet(), filepath.Join("testdata", dir), virtualRel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if p == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	return p
+}
+
+// TestAnalyzerGoldens runs the full suite over each fixture package and
+// checks the diagnostics against the fixtures' // want expectations —
+// both directions: every want must be produced, and nothing beyond the
+// wants may appear (which is also what proves the //ebcp:allow
+// suppression cases suppress).
+func TestAnalyzerGoldens(t *testing.T) {
+	fixtures := []struct {
+		dir string
+		rel string
+	}{
+		{"nopanic", "internal/lib"},
+		{"hotpathalloc", "internal/hot"},
+		{"errwrap", "internal/fake"},
+		{"determinism", "internal/exp"},
+		{"driver", "internal/driver"},
+	}
+	for _, fx := range fixtures {
+		t.Run(fx.dir, func(t *testing.T) {
+			p := loadFixture(t, fx.dir, fx.rel)
+			diags := Run([]*Pkg{p}, All())
+			for _, problem := range CheckExpectations(p, diags) {
+				t.Error(problem)
+			}
+		})
+	}
+}
+
+// TestSelfCheck is the gate the Makefile and CI rely on: the analyzer
+// suite over the real module must be clean. A failure here lists the
+// same file:line:col diagnostics ebcplint would print.
+func TestSelfCheck(t *testing.T) {
+	diags, err := RunModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuppressionScopes pins the two //ebcp:allow coverage shapes: a
+// doc-comment allow spans its whole declaration, an inline allow only
+// its own line and the next.
+func TestSuppressionScopes(t *testing.T) {
+	p := loadFixture(t, "nopanic", "internal/lib")
+	diags := Run([]*Pkg{p}, []Analyzer{NoPanic{}})
+	for _, d := range diags {
+		if strings.Contains(d.Message, "sanctioned") {
+			t.Errorf("suppressed site leaked: %s", d)
+		}
+	}
+}
+
+// TestHotpathPackages locks the package set the //ebcp:hotpath
+// annotations span; internal/sim's TestSteadyStateAllocs asserts the
+// same set, so the annotations and the runtime alloc test stay coupled.
+func TestHotpathPackages(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := HotpathPackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"internal/cache",
+		"internal/corrtab",
+		"internal/cpu",
+		"internal/prefetch",
+		"internal/sim",
+		"internal/trace",
+		"internal/workload",
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("hotpath-annotated packages:\n  got  %v\n  want %v", got, want)
+	}
+}
+
+// TestDiagnosticFormat pins the output contract cmd/ebcplint prints:
+// file:line:col: [check] message.
+func TestDiagnosticFormat(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "a/b.go", Line: 3, Column: 7},
+		Check:   "nopanic",
+		Message: "no",
+	}
+	if got, want := d.String(), "a/b.go:3:7: [nopanic] no"; got != want {
+		t.Errorf("Diagnostic.String() = %q, want %q", got, want)
+	}
+}

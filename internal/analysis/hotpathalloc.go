@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// HotpathAlloc enforces the steady-state allocation contract (PR 2,
+// locked at runtime by TestSteadyStateAllocs): a function annotated
+// //ebcp:hotpath may not contain the syntactic allocation sources that
+// would put garbage on the per-record path —
+//
+//   - make / new calls
+//   - map and slice composite literals (struct and fixed-array literals
+//     are fine: they live on the stack)
+//   - append to anything but a parameter slice (appending to a field or
+//     local grows hidden state per call; amortized-growth buffers carry
+//     an //ebcp:allow hotpathalloc with the amortization argument)
+//   - closures capturing locals (the captured variable escapes)
+//   - string <-> []byte conversions (each one copies)
+//   - fmt calls (every operand is boxed into an interface)
+//
+// The analyzer is annotation-driven: it fires only inside functions the
+// author declared hot, wherever they live.
+type HotpathAlloc struct{}
+
+// Name implements Analyzer.
+func (HotpathAlloc) Name() string { return "hotpathalloc" }
+
+// Check implements Analyzer.
+func (HotpathAlloc) Check(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		named, _ := importNames(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || !isHotpath(fn) || fn.Body == nil {
+				continue
+			}
+			out = append(out, checkHotFunc(p, fn, named)...)
+		}
+	}
+	return out
+}
+
+func checkHotFunc(p *Pkg, fn *ast.FuncDecl, named map[string]string) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{p.Fset.Position(pos), "hotpathalloc", msg})
+	}
+	params := map[string]bool{}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				params[name.Name] = true
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Obj == nil {
+				switch id.Name {
+				case "make", "new":
+					diag(n.Pos(), "hot path must not call "+id.Name)
+				case "append":
+					if len(n.Args) > 0 && !isParamSlice(n.Args[0], params) {
+						diag(n.Pos(), "hot path append target is not a parameter slice")
+					}
+				case "string":
+					diag(n.Pos(), "hot path string(...) conversion copies")
+				}
+			}
+			if at, ok := n.Fun.(*ast.ArrayType); ok && at.Len == nil {
+				if elt, ok := at.Elt.(*ast.Ident); ok && (elt.Name == "byte" || elt.Name == "rune") {
+					diag(n.Pos(), "hot path []"+elt.Name+"(...) conversion copies")
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if base, ok := sel.X.(*ast.Ident); ok && base.Obj == nil && named[base.Name] == "fmt" {
+					diag(n.Pos(), "hot path fmt."+sel.Sel.Name+" boxes its operands")
+				}
+			}
+		case *ast.CompositeLit:
+			switch t := n.Type.(type) {
+			case *ast.MapType:
+				diag(n.Pos(), "hot path map literal allocates")
+			case *ast.ArrayType:
+				if t.Len == nil {
+					diag(n.Pos(), "hot path slice literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			if cap := capturedLocal(fn, n); cap != "" {
+				diag(n.Pos(), "hot path closure captures local "+cap)
+				return false // one diagnostic per closure is enough
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isParamSlice reports whether an append target is (a re-slicing of) a
+// bare identifier naming one of the function's parameters. Fields,
+// locals and anything reached through a selector are per-call hidden
+// state and stay banned.
+func isParamSlice(e ast.Expr, params map[string]bool) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return params[x.Name]
+		default:
+			return false
+		}
+	}
+}
+
+// capturedLocal returns the name of a local variable of fn that lit's
+// body references, or "" if the closure is capture-free. Package-level
+// identifiers and the closure's own declarations don't count.
+func capturedLocal(fn *ast.FuncDecl, lit *ast.FuncLit) string {
+	found := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Obj == nil || id.Obj.Decl == nil {
+			return true
+		}
+		dn, ok := id.Obj.Decl.(ast.Node)
+		if !ok {
+			return true
+		}
+		declPos := dn.Pos()
+		inFn := declPos >= fn.Pos() && declPos < fn.End()
+		inLit := declPos >= lit.Pos() && declPos < lit.End()
+		if inFn && !inLit {
+			found = id.Name
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// NoPanic enforces the library error-handling contract (DESIGN.md
+// "Error handling contract", PR 3): non-test library code returns typed
+// errors — it never calls panic, os.Exit or log.Fatal*. Commands
+// (anything under cmd/ and any package main, which includes examples/)
+// are exempt: exiting is their job.
+//
+// Unlike the grep gate it replaces, this is AST-based: it also catches
+// method values (`f := os.Exit`), aliased imports (`import o "os"`) and
+// dot-imports (`import . "os"; Exit(1)`), and it does not fire on the
+// word "panic" in comments or strings.
+type NoPanic struct{}
+
+// Name implements Analyzer.
+func (NoPanic) Name() string { return "nopanic" }
+
+// fatalFuncs maps import path → function names that terminate the
+// process. Referencing one at all (call or method value) is a
+// diagnostic.
+var fatalFuncs = map[string][]string{
+	"os":  {"Exit"},
+	"log": {"Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln"},
+}
+
+// Check implements Analyzer.
+func (NoPanic) Check(p *Pkg) []Diagnostic {
+	if p.Name == "main" || p.Rel == "cmd" || strings.HasPrefix(p.Rel, "cmd/") {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		named, dot := importNames(f)
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+					out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
+						"library code must return a typed error, not panic"})
+				}
+			case *ast.SelectorExpr:
+				for path, names := range fatalFuncs {
+					for _, name := range names {
+						if selectorOn(n, named, path, name) {
+							out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
+								fmt.Sprintf("library code must not reference %s.%s", path, name)})
+						}
+					}
+				}
+				// Walk only the base: n.Sel is a field/method name, not a
+				// bare identifier, and must not trip the dot-import check.
+				ast.Inspect(n.X, walk)
+				return false
+			case *ast.Ident:
+				// Dot-imports: a bare unresolved Exit/Fatal* identifier in a
+				// file that dot-imports os or log is the same call in disguise.
+				if n.Obj != nil {
+					return true
+				}
+				for path, names := range fatalFuncs {
+					if !dot[path] {
+						continue
+					}
+					for _, name := range names {
+						if n.Name == name {
+							out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
+								fmt.Sprintf("library code must not reference %s.%s (dot-imported)", path, name)})
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(f, walk)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+// Package render is a determinism fixture; the golden test loads it
+// under the virtual path internal/exp so the render-path map-range rule
+// applies alongside the module-wide time/rand rules.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type table struct {
+	cells map[string]float64
+}
+
+func stamp() int64 {
+	return time.Now().Unix() // want `\[determinism\] time.Now leaks wall-clock state`
+}
+
+func jitter() float64 {
+	return rand.Float64() // want `\[determinism\] global math/rand.Float64 shares unseeded state`
+}
+
+// seeded streams are explicitly deterministic: not flagged.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func renderUnsorted(w io.Writer, t *table) {
+	for k, v := range t.cells { // want `\[determinism\] range over a map feeds a writer`
+		fmt.Fprintf(w, "%s=%v\n", k, v)
+	}
+}
+
+// renderSorted is the sanctioned fix: collect the keys, sort, range the
+// slice. The append inside the map range is part of the idiom.
+func renderSorted(w io.Writer, t *table) {
+	keys := make([]string, 0, len(t.cells))
+	for k := range t.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%v\n", k, t.cells[k])
+	}
+}
+
+func localMap(w io.Writer) {
+	m := make(map[int]int)
+	for k := range m { // want `\[determinism\] range over a map feeds a writer`
+		fmt.Fprintln(w, k)
+	}
+}
+
+func sliceRange(w io.Writer, rows []float64) {
+	for _, v := range rows {
+		fmt.Fprintln(w, v)
+	}
+}
+
+func sanctioned() int64 {
+	return time.Now().UnixNano() //ebcp:allow determinism fixture: demonstrates suppressing the wall-clock check
+}

@@ -1,0 +1,9 @@
+// Package driver exercises the shared driver itself: an //ebcp:allow
+// with no justification is rejected with its own diagnostic and
+// suppresses nothing.
+package driver
+
+//ebcp:allow nopanic // want `\[allow\] ebcp:allow nopanic needs a justification`
+func unjustified() {
+	panic("still flagged") // want `\[nopanic\] library code must return a typed error, not panic`
+}

@@ -1,0 +1,39 @@
+// Package fake is an errwrap fixture; the golden test loads it under
+// the virtual path internal/fake so the internal/*-scoped rule applies.
+package fake
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrRoot is a package-level sentinel: the sanctioned root site for
+// errors.New, never flagged.
+var ErrRoot = errors.New("fake: root sentinel")
+
+func bareNew(n int) error {
+	if n < 0 {
+		return errors.New("fake: negative") // want `\[errwrap\] errors.New inside a function is unclassifiable`
+	}
+	return nil
+}
+
+func bareErrorf(n int) error {
+	return fmt.Errorf("fake: bad value %d", n) // want `\[errwrap\] fmt.Errorf without %w is unclassifiable`
+}
+
+// wrapped chains to a sentinel with %w: classifiable, not flagged.
+func wrapped(n int) error {
+	return fmt.Errorf("fake: value %d: %w", n, ErrRoot)
+}
+
+func sanctioned() error {
+	return errors.New("fake: truly one-off") //ebcp:allow errwrap fixture: demonstrates suppressing the errwrap check
+}
+
+// multiAllow suppresses two checks with one directive.
+//
+//ebcp:allow errwrap,nopanic fixture: demonstrates a comma-separated check list
+func multiAllow() error {
+	return errors.New("fake: covered by the multi-check allow")
+}

@@ -1,0 +1,48 @@
+// Package lib is a nopanic fixture: library code that terminates the
+// process in every way the analyzer must catch, plus the shadowing and
+// suppression cases it must not flag.
+package lib
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func explicitPanic(v int) {
+	if v < 0 {
+		panic("negative") // want `\[nopanic\] library code must return a typed error, not panic`
+	}
+}
+
+func processExit() {
+	os.Exit(1) // want `\[nopanic\] library code must not reference os.Exit`
+}
+
+// methodValue is the case the old grep gate missed: no call ever
+// appears, but the reference alone can terminate the process later.
+func methodValue() func(string, ...any) {
+	die := log.Fatalf // want `\[nopanic\] library code must not reference log.Fatalf`
+	return die
+}
+
+// shadowed must NOT be flagged: this panic is a local variable, not the
+// builtin.
+func shadowed() {
+	panic := func(s string) { fmt.Println(s) }
+	panic("just a print")
+}
+
+// sanctioned documents the one place a panic is currently tolerated,
+// with the mandatory justification.
+//
+//ebcp:allow nopanic fixture: demonstrates a doc-comment allow covering the whole declaration
+func sanctioned() {
+	panic("unreachable by construction")
+}
+
+func inlineSanctioned(v int) {
+	if v == 42 {
+		panic("inline allow") //ebcp:allow nopanic fixture: demonstrates an inline allow
+	}
+}

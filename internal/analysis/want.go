@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// want is one `// want "regex"` expectation: a diagnostic matching the
+// pattern must be reported on this file:line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe accepts both quote styles: // want "pattern" and, for
+// patterns that themselves contain double quotes, // want `pattern`.
+var wantRe = regexp.MustCompile("// want (?:\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// CheckExpectations compares analyzer output against the `// want`
+// comments in a package's files and returns one human-readable problem
+// per mismatch: a diagnostic with no matching want (unexpected), or a
+// want no diagnostic satisfied (missing). Matching is one-to-one by
+// (file, line) plus regexp match on "[check] message", so a line may
+// carry several wants for several diagnostics. An empty slice means the
+// fixture and the analyzers agree exactly.
+func CheckExpectations(p *Pkg, diags []Diagnostic) []string {
+	var wants []*want
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					src := m[1]
+					if src == "" {
+						src = m[2]
+					}
+					pat, err := regexp.Compile(src)
+					if err != nil {
+						pos := p.Fset.Position(c.Pos())
+						return []string{fmt.Sprintf("%s: bad want pattern %q: %v", pos, src, err)}
+					}
+					pos := p.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: pat})
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, d := range diags {
+		text := fmt.Sprintf("[%s] %s", d.Check, d.Message)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic %s: %s", d.Pos, text))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

@@ -115,11 +115,14 @@ func (c *Cache) Stats() Stats { return c.stats }
 // boundary) without disturbing cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+//ebcp:hotpath
 func (c *Cache) locate(l amo.Line) (set []way, tag uint64) {
 	return c.sets[l.SetIndex(c.nSets)], l.Tag(c.setBits)
 }
 
 // Lookup probes for the line without updating statistics or LRU state.
+//
+//ebcp:hotpath
 func (c *Cache) Lookup(l amo.Line) bool {
 	set, tag := c.locate(l)
 	for i := range set {
@@ -132,6 +135,8 @@ func (c *Cache) Lookup(l amo.Line) bool {
 
 // Access probes for the line, counting the access and updating LRU on a
 // hit. It returns whether the line was present.
+//
+//ebcp:hotpath
 func (c *Cache) Access(l amo.Line) bool {
 	c.stats.Accesses++
 	set, tag := c.locate(l)
@@ -150,6 +155,8 @@ func (c *Cache) Access(l amo.Line) bool {
 // promotion), evicting the LRU way if the set is full. It returns the
 // evicted line, whether an eviction occurred, and whether the victim was
 // dirty (needs a writeback).
+//
+//ebcp:hotpath
 func (c *Cache) Fill(l amo.Line, dirty bool) (victim amo.Line, evicted, victimDirty bool) {
 	set, tag := c.locate(l)
 	c.stamp++
@@ -187,6 +194,8 @@ place:
 // Touch refreshes the LRU position of the line if present (used when an
 // upper-level hit should keep the L2 copy warm), without counting an
 // access.
+//
+//ebcp:hotpath
 func (c *Cache) Touch(l amo.Line) {
 	set, tag := c.locate(l)
 	for i := range set {
@@ -199,6 +208,8 @@ func (c *Cache) Touch(l amo.Line) {
 }
 
 // Invalidate removes the line if present, returning whether it was there.
+//
+//ebcp:hotpath
 func (c *Cache) Invalidate(l amo.Line) bool {
 	set, tag := c.locate(l)
 	for i := range set {

@@ -43,6 +43,8 @@ func (m *MSHR) Capacity() int { return m.capacity }
 func (m *MSHR) Merged() uint64 { return m.merged }
 
 // find returns the entry index of l, or -1.
+//
+//ebcp:hotpath
 func (m *MSHR) find(l amo.Line) int {
 	for i := 0; i < m.n; i++ {
 		if m.lines[i] == l {
@@ -54,6 +56,8 @@ func (m *MSHR) find(l amo.Line) int {
 
 // Lookup reports whether the line is already outstanding and, if so, when
 // it completes.
+//
+//ebcp:hotpath
 func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
 	if i := m.find(l); i >= 0 {
 		return m.completions[i], true
@@ -66,6 +70,8 @@ func (m *MSHR) Lookup(l amo.Line) (completion uint64, outstanding bool) {
 // completion wins) and Allocate reports merged=true. Allocating a new
 // line into a full file is a caller bug (check Full first) and returns
 // an ErrInvalidConfig-classified error without modifying the file.
+//
+//ebcp:hotpath
 func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool, err error) {
 	if i := m.find(l); i >= 0 {
 		m.merged++
@@ -85,6 +91,8 @@ func (m *MSHR) Allocate(l amo.Line, completion uint64) (merged bool, err error) 
 
 // CompleteThrough releases every entry whose completion cycle is <= now and
 // returns how many were released.
+//
+//ebcp:hotpath
 func (m *MSHR) CompleteThrough(now uint64) int {
 	released := 0
 	for i := 0; i < m.n; {

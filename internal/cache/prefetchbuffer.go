@@ -90,11 +90,14 @@ func (b *PrefetchBuffer) Stats() PBStats { return b.stats }
 // ResetStats zeroes the counters without touching contents.
 func (b *PrefetchBuffer) ResetStats() { b.stats = PBStats{} }
 
+//ebcp:hotpath
 func (b *PrefetchBuffer) locate(l amo.Line) ([]pbWay, uint64) {
 	return b.sets[l.SetIndex(b.nSets)], l.Tag(b.setBits)
 }
 
 // Contains probes for the line without side effects.
+//
+//ebcp:hotpath
 func (b *PrefetchBuffer) Contains(l amo.Line) bool {
 	set, tag := b.locate(l)
 	for i := range set {
@@ -108,6 +111,8 @@ func (b *PrefetchBuffer) Contains(l amo.Line) bool {
 // Insert places a prefetched line in the buffer, evicting LRU if needed.
 // Inserting a line already present refreshes it (keeping the earlier
 // ReadyAt, since the data is already on its way).
+//
+//ebcp:hotpath
 func (b *PrefetchBuffer) Insert(l amo.Line, e PBEntry) {
 	set, tag := b.locate(l)
 	b.stamp++
@@ -146,6 +151,8 @@ place:
 // metadata returned. A hit on an in-flight entry is reported with
 // partial=true; the caller should charge entry.ReadyAt-now of residual
 // latency.
+//
+//ebcp:hotpath
 func (b *PrefetchBuffer) Hit(l amo.Line, now uint64) (e PBEntry, hit, partial bool) {
 	set, tag := b.locate(l)
 	for i := range set {
@@ -166,6 +173,8 @@ func (b *PrefetchBuffer) Hit(l amo.Line, now uint64) (e PBEntry, hit, partial bo
 
 // Invalidate removes the line if present (e.g. on a store to a prefetched
 // line, keeping the buffer coherent).
+//
+//ebcp:hotpath
 func (b *PrefetchBuffer) Invalidate(l amo.Line) bool {
 	set, tag := b.locate(l)
 	for i := range set {

@@ -149,15 +149,21 @@ func (t *Table) Stats() Stats { return t.stats }
 func (t *Table) ResetStats() { t.stats = Stats{} }
 
 // Index returns the direct-mapped index of a key line.
+//
+//ebcp:hotpath
 func (t *Table) Index(key amo.Line) uint64 { return uint64(key) & t.mask }
 
 // idxHash spreads table indices over the open-addressed index.
+//
+//ebcp:hotpath
 func idxHash(idx uint64) uint64 {
 	h := idx * 0x9e3779b97f4a7c15
 	return h ^ (h >> 29)
 }
 
 // findSlot returns the arena slot for a table index, if indexed.
+//
+//ebcp:hotpath
 func (t *Table) findSlot(idx uint64) (uint32, bool) {
 	key := idx + 1
 	for i := idxHash(idx) & t.idxMask; ; i = (i + 1) & t.idxMask {
@@ -204,6 +210,8 @@ func (t *Table) growIndex() {
 }
 
 // slot dereferences an arena slot into its page and in-page position.
+//
+//ebcp:hotpath
 func (t *Table) slot(s uint32) (*page, uint32) {
 	return t.pages[s>>pageShift], s & pageMask
 }
@@ -220,6 +228,8 @@ func (t *Table) newSlot() uint32 {
 }
 
 // span returns the slot's inline fixed-capacity address array.
+//
+//ebcp:hotpath
 func (p *page) span(s uint32, max int) []amo.Line {
 	off := int(s) * max
 	return p.addrs[off : off+max : off+max]
@@ -229,6 +239,8 @@ func (p *page) span(s uint32, max int) []amo.Line {
 // nil when the indexed entry holds a different tag or is empty. The
 // returned slice aliases table state and must not be retained across
 // updates.
+//
+//ebcp:hotpath
 func (t *Table) Lookup(key amo.Line) []amo.Line {
 	t.stats.Lookups++
 	s, ok := t.findSlot(t.Index(key))
@@ -248,6 +260,8 @@ func (t *Table) Lookup(key amo.Line) []amo.Line {
 // epoch). Present addresses move to MRU; new ones are inserted at MRU,
 // displacing the LRU addresses when the entry is full. A tag mismatch
 // reallocates the entry (direct-mapped conflict overwrite).
+//
+//ebcp:hotpath
 func (t *Table) Update(key amo.Line, addrs []amo.Line) {
 	t.stats.Updates++
 	idx := t.Index(key)
@@ -289,6 +303,8 @@ func (t *Table) Update(key amo.Line, addrs []amo.Line) {
 // promote moves a to the MRU position of the n-entry span, inserting it if
 // absent and evicting the LRU address if the span is at capacity. It
 // returns the new entry count.
+//
+//ebcp:hotpath
 func promote(span []amo.Line, n int, a amo.Line) int {
 	for i := 0; i < n; i++ {
 		if span[i] == a {
@@ -310,6 +326,8 @@ func promote(span []amo.Line, n int, a amo.Line) int {
 // buffer entry carries the index of the generating correlation table
 // entry so its LRU information can be updated). The caller charges the
 // corresponding table write.
+//
+//ebcp:hotpath
 func (t *Table) Touch(index uint64, used amo.Line) {
 	s, ok := t.findSlot(index & t.mask)
 	if !ok {

@@ -211,6 +211,7 @@ func (m *Model) ResetStats() {
 	m.skipHist = m.inEpoch
 }
 
+//ebcp:hotpath
 func (m *Model) advanceCycles(insts uint64) {
 	c := float64(insts)*m.cfg.OnChipCPI + m.frac
 	whole := uint64(c)
@@ -225,6 +226,8 @@ func (m *Model) advanceCycles(insts uint64) {
 // Advance executes insts cache-hot instructions. If the reorder buffer
 // fills while an epoch is open, the epoch is closed at that point and the
 // remaining instructions execute after the stall.
+//
+//ebcp:hotpath
 func (m *Model) Advance(insts uint64) {
 	for m.inEpoch {
 		room := m.epochTriggerInst + m.cfg.ROBSize - m.insts
@@ -243,6 +246,8 @@ func (m *Model) Advance(insts uint64) {
 
 // AddLatency charges explicit on-chip latency (an L2 or prefetch-buffer
 // hit) to the execution time.
+//
+//ebcp:hotpath
 func (m *Model) AddLatency(cycles uint64) {
 	m.now += cycles
 	m.stats.OnChipCycles += cycles
@@ -252,12 +257,15 @@ func (m *Model) AddLatency(cycles uint64) {
 }
 
 // Serialize applies a serializing instruction: any open epoch closes.
+//
+//ebcp:hotpath
 func (m *Model) Serialize() {
 	if m.inEpoch {
 		m.closeEpoch(CloseSerializing)
 	}
 }
 
+//ebcp:hotpath
 func (m *Model) closeEpoch(r CloseReason) {
 	if !m.inEpoch {
 		return
@@ -288,6 +296,8 @@ func (m *Model) CloseEpoch() { m.closeEpoch(CloseDrain) }
 // miss: the window terminates and the core stalls until the epoch
 // completes. It is a no-op when no epoch is open (the branch resolved
 // from on-chip data).
+//
+//ebcp:hotpath
 func (m *Model) BreakWindow() {
 	if m.inEpoch {
 		m.closeEpoch(CloseBranch)
@@ -306,6 +316,8 @@ func (m *Model) BreakWindow() {
 //
 // Callers must use the returned cycle to compute the access's completion
 // (e.g. via the memory model) and then report it with Miss.
+//
+//ebcp:hotpath
 func (m *Model) PrepareMiss(dependent, serializing bool) (issueAt uint64) {
 	if m.inEpoch && (dependent || serializing) {
 		r := CloseDependent
@@ -325,6 +337,8 @@ func (m *Model) PrepareMiss(dependent, serializing bool) (issueAt uint64) {
 // PrepareMiss.
 //
 // It returns true when the access triggered a new epoch.
+//
+//ebcp:hotpath
 func (m *Model) Miss(completion uint64, ifetch bool) (newEpoch bool) {
 	if !m.inEpoch {
 		m.inEpoch = true

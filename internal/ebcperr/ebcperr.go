@@ -9,6 +9,12 @@
 //	    window completed, so the statistics include warmup and are not
 //	    Table 1-grade data.
 //	ErrCancelled — a context was cancelled before the work ran.
+//	ErrCorruptTrace — a condensed trace failed to decode: truncated,
+//	    bad magic, or a record failed a plausibility bound.
+//	ErrBadReport — a machine-readable report failed to decode or
+//	    carried an unsupported schema.
+//	ErrInvariant — a metrics snapshot failed reconciliation; the
+//	    counters contradict each other and the run must not be trusted.
 //
 // Errors carrying a sentinel keep a human-readable message of their own;
 // the sentinel is reachable through errors.Is/errors.Unwrap, not pasted
@@ -31,6 +37,14 @@ var (
 	// ErrCancelled classifies work skipped because a context was
 	// cancelled before it could start.
 	ErrCancelled = errors.New("cancelled")
+	// ErrCorruptTrace classifies condensed-trace decode failures.
+	ErrCorruptTrace = errors.New("corrupt trace")
+	// ErrBadReport classifies machine-readable reports that fail to
+	// decode or carry an unsupported schema.
+	ErrBadReport = errors.New("bad report")
+	// ErrInvariant classifies metrics snapshots whose counters fail
+	// reconciliation (Snapshot.CheckInvariants).
+	ErrInvariant = errors.New("metrics invariant violated")
 )
 
 // wrapped pairs a formatted message with a sentinel. Error returns only

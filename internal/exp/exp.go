@@ -125,7 +125,7 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
-	return Experiment{}, fmt.Errorf("exp: unknown experiment %q", id)
+	return Experiment{}, ebcperr.Invalidf("exp: unknown experiment %q", id)
 }
 
 // Session runs simulations with memoization, so experiments sharing runs

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/metrics"
 )
 
@@ -273,5 +274,5 @@ func (r *Report) RenderFormat(w io.Writer, format string) error {
 	case "markdown", "md":
 		return r.RenderMarkdown(w)
 	}
-	return fmt.Errorf("exp: unknown format %q (text|csv|markdown)", format)
+	return ebcperr.Invalidf("exp: unknown format %q (text|csv|markdown)", format)
 }

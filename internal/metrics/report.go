@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"ebcp/internal/ebcperr"
 )
 
 // SchemaV1 identifies version 1 of the machine-readable report shape.
@@ -106,7 +108,7 @@ func DecodeReportV1(r io.Reader) (ReportV1, error) {
 		return ReportV1{}, fmt.Errorf("metrics: decoding report: %w", err)
 	}
 	if rep.Schema != SchemaV1 {
-		return ReportV1{}, fmt.Errorf("metrics: unsupported report schema %q (want %q)", rep.Schema, SchemaV1)
+		return ReportV1{}, ebcperr.Wrap(ebcperr.ErrBadReport, "metrics: unsupported report schema %q (want %q)", rep.Schema, SchemaV1)
 	}
 	return rep, nil
 }

@@ -1,6 +1,6 @@
 package metrics
 
-import "fmt"
+import "ebcp/internal/ebcperr"
 
 // NumCloseReasons is the number of epoch window-termination conditions
 // the core model distinguishes (cpu.CloseReason); the per-reason arrays
@@ -175,13 +175,13 @@ func (s *Snapshot) CheckInvariants() error {
 		c    CacheCounters
 	}{{"l1i", s.L1I}, {"l1d", s.L1D}, {"l2", s.L2}} {
 		if c.c.Hits+c.c.Misses != c.c.Accesses {
-			return fmt.Errorf("metrics: %s hits %d + misses %d != accesses %d", c.name, c.c.Hits, c.c.Misses, c.c.Accesses)
+			return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: %s hits %d + misses %d != accesses %d", c.name, c.c.Hits, c.c.Misses, c.c.Accesses)
 		}
 		if c.c.Evictions > c.c.Fills {
-			return fmt.Errorf("metrics: %s evictions %d exceed fills %d", c.name, c.c.Evictions, c.c.Fills)
+			return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: %s evictions %d exceed fills %d", c.name, c.c.Evictions, c.c.Fills)
 		}
 		if c.c.DirtyEvictions > c.c.Evictions {
-			return fmt.Errorf("metrics: %s dirty evictions %d exceed evictions %d", c.name, c.c.DirtyEvictions, c.c.Evictions)
+			return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: %s dirty evictions %d exceed evictions %d", c.name, c.c.DirtyEvictions, c.c.Evictions)
 		}
 	}
 
@@ -189,12 +189,12 @@ func (s *Snapshot) CheckInvariants() error {
 	// (full or partial) or a real off-chip miss of some kind.
 	resolved := s.PB.Hits + s.PB.PartialHits + s.L2MissIFetch + s.L2MissLoad + s.L2MissStore
 	if resolved != s.L2.Misses {
-		return fmt.Errorf("metrics: L2 misses %d != PB hits %d+%d + kind-split misses %d+%d+%d",
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: L2 misses %d != PB hits %d+%d + kind-split misses %d+%d+%d",
 			s.L2.Misses, s.PB.Hits, s.PB.PartialHits, s.L2MissIFetch, s.L2MissLoad, s.L2MissStore)
 	}
 	pbHits := s.PBHitIFetch + s.PBHitLoad
 	if pbHits != s.PB.Hits+s.PB.PartialHits {
-		return fmt.Errorf("metrics: kind-split PB hits %d+%d != PB hits %d + partial %d",
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: kind-split PB hits %d+%d != PB hits %d + partial %d",
 			s.PBHitIFetch, s.PBHitLoad, s.PB.Hits, s.PB.PartialHits)
 	}
 
@@ -202,33 +202,33 @@ func (s *Snapshot) CheckInvariants() error {
 	// context filters already-present lines, so every issue is an
 	// insert) and each can be used at most once.
 	if s.PB.Inserts != s.PF.Issued {
-		return fmt.Errorf("metrics: PB inserts %d != prefetches issued %d", s.PB.Inserts, s.PF.Issued)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: PB inserts %d != prefetches issued %d", s.PB.Inserts, s.PF.Issued)
 	}
 	if pbHits > s.PF.Issued {
-		return fmt.Errorf("metrics: PB hits %d exceed prefetches issued %d", pbHits, s.PF.Issued)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: PB hits %d exceed prefetches issued %d", pbHits, s.PF.Issued)
 	}
 	if s.Mem.Prefetch.Reads != s.PF.Issued {
-		return fmt.Errorf("metrics: prefetch-class memory reads %d != prefetches issued %d", s.Mem.Prefetch.Reads, s.PF.Issued)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class memory reads %d != prefetches issued %d", s.Mem.Prefetch.Reads, s.PF.Issued)
 	}
 	if s.Mem.Prefetch.ReadDrops != s.PF.Dropped {
-		return fmt.Errorf("metrics: prefetch-class read drops %d != prefetches dropped %d", s.Mem.Prefetch.ReadDrops, s.PF.Dropped)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class read drops %d != prefetches dropped %d", s.Mem.Prefetch.ReadDrops, s.PF.Dropped)
 	}
 
 	// Core time: the clock only advances through on-chip execution and
 	// epoch stalls, and stall cycles are fully attributed to reasons.
 	if s.Core.OnChipCycles+s.Core.StallCycles != s.Core.Cycles {
-		return fmt.Errorf("metrics: on-chip %d + stall %d cycles != total %d",
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: on-chip %d + stall %d cycles != total %d",
 			s.Core.OnChipCycles, s.Core.StallCycles, s.Core.Cycles)
 	}
 	if s.Core.OverlappedCycles > s.Core.OnChipCycles {
-		return fmt.Errorf("metrics: overlapped cycles %d exceed on-chip cycles %d", s.Core.OverlappedCycles, s.Core.OnChipCycles)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: overlapped cycles %d exceed on-chip cycles %d", s.Core.OverlappedCycles, s.Core.OnChipCycles)
 	}
 	var stallSum uint64
 	for _, v := range s.Core.StallByReason {
 		stallSum += v
 	}
 	if stallSum != s.Core.StallCycles {
-		return fmt.Errorf("metrics: stall-by-reason sum %d != stall cycles %d", stallSum, s.Core.StallCycles)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: stall-by-reason sum %d != stall cycles %d", stallSum, s.Core.StallCycles)
 	}
 
 	// Histograms: bucket sums equal counts, and the epoch histograms
@@ -245,24 +245,24 @@ func (s *Snapshot) CheckInvariants() error {
 		{"prefetch_to_use_cycles", &s.Hist.PBUseDist},
 	} {
 		if h.h.Total() != h.h.Count {
-			return fmt.Errorf("metrics: histogram %s bucket sum %d != count %d", h.name, h.h.Total(), h.h.Count)
+			return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: histogram %s bucket sum %d != count %d", h.name, h.h.Total(), h.h.Count)
 		}
 	}
 	if s.Hist.EpochLen.Count != s.Core.Epochs {
-		return fmt.Errorf("metrics: epoch-length histogram count %d != epochs %d", s.Hist.EpochLen.Count, s.Core.Epochs)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: epoch-length histogram count %d != epochs %d", s.Hist.EpochLen.Count, s.Core.Epochs)
 	}
 	if s.Hist.EpochMisses.Count != s.Core.Epochs {
-		return fmt.Errorf("metrics: misses-per-epoch histogram count %d != epochs %d", s.Hist.EpochMisses.Count, s.Core.Epochs)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: misses-per-epoch histogram count %d != epochs %d", s.Hist.EpochMisses.Count, s.Core.Epochs)
 	}
 	if s.Hist.PBUseDist.Count != pbHits {
-		return fmt.Errorf("metrics: prefetch-to-use histogram count %d != PB hits %d", s.Hist.PBUseDist.Count, pbHits)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-to-use histogram count %d != PB hits %d", s.Hist.PBUseDist.Count, pbHits)
 	}
 	var closeSum uint64
 	for _, v := range s.Core.ClosesByReason {
 		closeSum += v
 	}
 	if closeSum < s.Core.Epochs || closeSum > s.Core.Epochs+1 {
-		return fmt.Errorf("metrics: epoch closes %d inconsistent with epochs %d", closeSum, s.Core.Epochs)
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: epoch closes %d inconsistent with epochs %d", closeSum, s.Core.Epochs)
 	}
 
 	// Derived fractions are probabilities.
@@ -279,7 +279,7 @@ func (s *Snapshot) CheckInvariants() error {
 		{"timely_early", d.TimelyEarly},
 	} {
 		if f.v < 0 || f.v > 1 {
-			return fmt.Errorf("metrics: derived %s = %v outside [0, 1]", f.name, f.v)
+			return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: derived %s = %v outside [0, 1]", f.name, f.v)
 		}
 	}
 	return nil

@@ -107,6 +107,7 @@ func GHBLarge(degree int) (*GHB, error) { return NewGHB("GHB large", 256<<10, 25
 // Name implements Prefetcher.
 func (g *GHB) Name() string { return g.label }
 
+//ebcp:hotpath
 func ghbKey(pc amo.PC, d1, d2 int64) uint64 {
 	const m1, m2, m3 = 0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9, 0x94d049bb133111eb
 	h := uint64(pc) * m1
@@ -138,11 +139,13 @@ func newOAMap(entries int) oaMap {
 	return m
 }
 
+//ebcp:hotpath
 func oaHash(key uint64) uint64 {
 	h := key * 0x9e3779b97f4a7c15
 	return h ^ (h >> 29)
 }
 
+//ebcp:hotpath
 func (m *oaMap) get(key uint64) (int32, bool) {
 	for i := oaHash(key) & m.mask; m.vals[i] >= 0; i = (i + 1) & m.mask {
 		if m.keys[i] == key {
@@ -153,6 +156,8 @@ func (m *oaMap) get(key uint64) (int32, bool) {
 }
 
 // put inserts key (which must not be present) with the given slot value.
+//
+//ebcp:hotpath
 func (m *oaMap) put(key uint64, v int32) {
 	i := oaHash(key) & m.mask
 	for m.vals[i] >= 0 {
@@ -163,6 +168,8 @@ func (m *oaMap) put(key uint64, v int32) {
 
 // del removes key if present, back-shifting the probe chain so no
 // tombstones accumulate.
+//
+//ebcp:hotpath
 func (m *oaMap) del(key uint64) {
 	i := oaHash(key) & m.mask
 	for {
@@ -200,6 +207,8 @@ func (m *oaMap) del(key uint64) {
 
 // pcSlot returns the index-table slot for a PC, allocating (with FIFO
 // eviction) if absent.
+//
+//ebcp:hotpath
 func (g *GHB) pcSlot(key amo.PC) int32 {
 	if s, ok := g.pcIdx.get(uint64(key)); ok {
 		return s
@@ -222,6 +231,8 @@ func (g *GHB) pcSlot(key amo.PC) int32 {
 
 // newTabSlot allocates a continuation-table slot for key (which must not
 // be present), evicting FIFO when the ring is full.
+//
+//ebcp:hotpath
 func (g *GHB) newTabSlot(key uint64) int32 {
 	var s int32
 	if g.tabN < g.capacity {
@@ -239,6 +250,8 @@ func (g *GHB) newTabSlot(key uint64) int32 {
 }
 
 // OnAccess implements Prefetcher.
+//
+//ebcp:hotpath
 func (g *GHB) OnAccess(a Access, ctx *Context) {
 	// GHB trains on the L2 miss stream; prefetch-buffer hits are treated
 	// as misses for training (they were misses before prefetching).

@@ -138,6 +138,8 @@ func (c *Context) ResetStats() { c.stats = Stats{} }
 // tableIndex is remembered so a later hit can update the generating
 // correlation-table entry (pass cache.NoTableIndex when not applicable).
 // It reports whether a prefetch was actually issued.
+//
+//ebcp:hotpath
 func (c *Context) Prefetch(now uint64, line amo.Line, tableIndex int64) bool {
 	if c.L2.Lookup(line) || c.Buffer.Contains(line) {
 		c.stats.Redundant++
@@ -155,6 +157,8 @@ func (c *Context) Prefetch(now uint64, line amo.Line, tableIndex int64) bool {
 
 // TableRead issues a correlation-table read at cycle now and returns its
 // completion time. Dropped reads return ok=false (backlog full).
+//
+//ebcp:hotpath
 func (c *Context) TableRead(now uint64) (completion uint64, ok bool) {
 	c.stats.TableReads++
 	return c.Mem.Read(now, mem.TableRead)
@@ -162,6 +166,8 @@ func (c *Context) TableRead(now uint64) (completion uint64, ok bool) {
 
 // TableWrite posts a correlation-table write at cycle now, reporting
 // whether the interconnect accepted it.
+//
+//ebcp:hotpath
 func (c *Context) TableWrite(now uint64) bool {
 	c.stats.TableWrites++
 	return c.Mem.Write(now, mem.TableWrite)

@@ -65,11 +65,13 @@ func newSMSPHT(sets, ways int) *smsPHT {
 	return &smsPHT{sets: sets, ways: ways, lines: make([]smsPHTWay, sets*ways)}
 }
 
+//ebcp:hotpath
 func (p *smsPHT) set(key uint64) []smsPHTWay {
 	si := int(key % uint64(p.sets))
 	return p.lines[si*p.ways : (si+1)*p.ways]
 }
 
+//ebcp:hotpath
 func (p *smsPHT) lookup(key uint64) (uint32, bool) {
 	set := p.set(key)
 	for i := range set {
@@ -82,6 +84,7 @@ func (p *smsPHT) lookup(key uint64) (uint32, bool) {
 	return 0, false
 }
 
+//ebcp:hotpath
 func (p *smsPHT) update(key uint64, pattern uint32) {
 	set := p.set(key)
 	p.stamp++
@@ -125,12 +128,15 @@ func (s *SMS) Stats() SMSStats { return s.stats }
 // ResetStats zeroes the internal counters.
 func (s *SMS) ResetStats() { s.stats = SMSStats{} }
 
+//ebcp:hotpath
 func (s *SMS) triggerKey(pc amo.PC, offset int) uint64 {
 	h := uint64(pc)*0x9e3779b97f4a7c15 + uint64(offset)
 	return h ^ (h >> 31)
 }
 
 // OnAccess implements Prefetcher.
+//
+//ebcp:hotpath
 func (s *SMS) OnAccess(a Access, ctx *Context) {
 	if a.IFetch {
 		return // SMS does not prefetch instructions
@@ -185,6 +191,8 @@ place:
 
 // commit stores a finished generation's pattern (only patterns with
 // spatial content — more than the trigger line — are worth remembering).
+//
+//ebcp:hotpath
 func (s *SMS) commit(e *atEntry) {
 	if popcount32(e.pattern) > 1 {
 		s.stats.Commits++
@@ -192,6 +200,7 @@ func (s *SMS) commit(e *atEntry) {
 	}
 }
 
+//ebcp:hotpath
 func (s *SMS) streamRegion(a Access, region amo.Region, triggerOffset int, pattern uint32, ctx *Context) {
 	base := region.Base(s.RegionBytes)
 	issued := 0
@@ -206,6 +215,7 @@ func (s *SMS) streamRegion(a Access, region amo.Region, triggerOffset int, patte
 	}
 }
 
+//ebcp:hotpath
 func popcount32(v uint32) int {
 	n := 0
 	for v != 0 {

@@ -34,6 +34,9 @@ type Solihin struct {
 	table *corrtab.Table
 	// history holds the most recent Depth misses, newest first.
 	history []amo.Line
+	// scratch passes the single trained successor to Table.Update
+	// without a per-miss slice literal; Update copies, never retains.
+	scratch [1]amo.Line
 }
 
 // NewSolihin builds a Solihin prefetcher with the given depth/width and
@@ -70,6 +73,8 @@ func (s *Solihin) Name() string { return s.label }
 func (s *Solihin) Table() *corrtab.Table { return s.table }
 
 // OnAccess implements Prefetcher.
+//
+//ebcp:hotpath
 func (s *Solihin) OnAccess(a Access, ctx *Context) {
 	// Memory-side engine sees the off-chip miss stream (instructions and
 	// loads). Prefetch-buffer hits were misses in the unprefetched stream,
@@ -81,8 +86,9 @@ func (s *Solihin) OnAccess(a Access, ctx *Context) {
 	// Train: this miss is a successor of each of the last Depth misses.
 	// The engine performs a read-modify-write of the table per miss.
 	ctx.TableRead(a.Now)
+	s.scratch[0] = a.Line
 	for _, prev := range s.history {
-		s.table.Update(prev, []amo.Line{a.Line})
+		s.table.Update(prev, s.scratch[:])
 	}
 	ctx.TableWrite(a.Now)
 
@@ -91,7 +97,7 @@ func (s *Solihin) OnAccess(a Access, ctx *Context) {
 		copy(s.history[1:], s.history[:s.depth-1])
 		s.history[0] = a.Line
 	} else {
-		s.history = append(s.history, 0)
+		s.history = append(s.history, 0) //ebcp:allow hotpathalloc capacity depth is reserved in NewSolihin; this never reallocates
 		copy(s.history[1:], s.history)
 		s.history[0] = a.Line
 	}

@@ -54,6 +54,8 @@ func NewStream(maxStreams, degree int) (*Stream, error) {
 func (s *Stream) Name() string { return "stream" }
 
 // OnAccess implements Prefetcher.
+//
+//ebcp:hotpath
 func (s *Stream) OnAccess(a Access, ctx *Context) {
 	// Loads only, and only the miss stream trains stride detection
 	// (prefetch-buffer hits keep confirmed streams running).
@@ -123,6 +125,7 @@ func (s *Stream) OnAccess(a Access, ctx *Context) {
 	}
 }
 
+//ebcp:hotpath
 func (s *Stream) allocate(line amo.Line) {
 	vi := 0
 	for i := range s.streams {

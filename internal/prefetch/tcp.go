@@ -56,11 +56,13 @@ func newPHT(sets, ways int) *phtTable {
 	return &phtTable{sets: sets, ways: ways, lines: make([]phtWay, sets*ways)}
 }
 
+//ebcp:hotpath
 func (p *phtTable) set(key uint64) []phtWay {
 	si := int(key % uint64(p.sets))
 	return p.lines[si*p.ways : (si+1)*p.ways]
 }
 
+//ebcp:hotpath
 func (p *phtTable) lookup(key uint64) (next uint64, confident, ok bool) {
 	set := p.set(key)
 	for i := range set {
@@ -73,6 +75,7 @@ func (p *phtTable) lookup(key uint64) (next uint64, confident, ok bool) {
 	return 0, false, false
 }
 
+//ebcp:hotpath
 func (p *phtTable) update(key, nextTag uint64) {
 	set := p.set(key)
 	p.stamp++
@@ -141,6 +144,8 @@ func (t *TCP) Name() string { return t.label }
 
 // historyKey hashes a set index and its most recent tag(s) into a PHT
 // key.
+//
+//ebcp:hotpath
 func (t *TCP) historyKey(set int, tags [2]uint64) uint64 {
 	const m1, m2 = 0x9e3779b97f4a7c15, 0xbf58476d1ce4e5b9
 	h := uint64(set)
@@ -152,6 +157,8 @@ func (t *TCP) historyKey(set int, tags [2]uint64) uint64 {
 }
 
 // OnAccess implements Prefetcher.
+//
+//ebcp:hotpath
 func (t *TCP) OnAccess(a Access, ctx *Context) {
 	if a.IFetch || a.L2Hit || a.MissMerged {
 		return

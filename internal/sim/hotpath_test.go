@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ebcp/internal/analysis"
 	"ebcp/internal/core"
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
@@ -171,5 +172,33 @@ func TestSteadyStateAllocs(t *testing.T) {
 		_ = snap.Derive()
 	}); avg > 0 {
 		t.Errorf("Snapshot+Derive allocates %.1f per call, want 0", avg)
+	}
+
+	// The //ebcp:hotpath annotations (enforced statically by the
+	// hotpathalloc analyzer) and this runtime measurement must cover the
+	// same code: step above exercises the simulator core, the caches and
+	// prefetcher, the correlation table, the epoch core model, and the
+	// generator/trace delivery path. If an annotation appears in a
+	// package this loop does not drive — or a driven package loses its
+	// annotations — one of the two checks has gone stale.
+	root, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated, err := analysis.HotpathPackages(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := []string{
+		"internal/cache",
+		"internal/corrtab",
+		"internal/cpu",
+		"internal/prefetch",
+		"internal/sim",
+		"internal/trace",
+		"internal/workload",
+	}
+	if !reflect.DeepEqual(annotated, covered) {
+		t.Errorf("//ebcp:hotpath annotations span %v,\nbut this test drives %v;\nannotate (and exercise) or un-annotate to re-align", annotated, covered)
 	}
 }

@@ -209,8 +209,10 @@ func missHash(l amo.Line) uint64 {
 	return h ^ (h >> 29)
 }
 
+//ebcp:hotpath
 func (s *missSet) clear() { s.mark++; s.n = 0 }
 
+//ebcp:hotpath
 func (s *missSet) has(l amo.Line) bool {
 	for i := missHash(l) & s.mask; s.marks[i] == s.mark; i = (i + 1) & s.mask {
 		if s.lines[i] == l {
@@ -220,6 +222,7 @@ func (s *missSet) has(l amo.Line) bool {
 	return false
 }
 
+//ebcp:hotpath
 func (s *missSet) add(l amo.Line) {
 	if 2*s.n >= len(s.lines) { // defensive: keep probes short if the bound is ever exceeded
 		s.grow()
@@ -444,6 +447,8 @@ func (r *Runner) laneResult(l *lane) Result {
 func (r *Runner) result() Result { return r.laneResult(r.lane) }
 
 // step processes one condensed trace record on a lane.
+//
+//ebcp:hotpath
 func (r *Runner) step(l *lane, rec trace.Record) {
 	l.core.Advance(uint64(rec.Gap) + 1)
 
@@ -469,6 +474,8 @@ func (r *Runner) step(l *lane, rec trace.Record) {
 // stepStore handles a store: under weak consistency store misses are
 // absorbed by the store buffer — they consume memory bandwidth but never
 // stall the core, terminate windows or train prefetchers.
+//
+//ebcp:hotpath
 func (r *Runner) stepStore(l *lane, rec trace.Record, line amo.Line) {
 	if rec.Serializing {
 		l.core.Serialize()
@@ -491,6 +498,8 @@ func (r *Runner) stepStore(l *lane, rec trace.Record, line amo.Line) {
 
 // l2fill installs a line in the shared L2, charging the writeback of a
 // dirty victim to the demand write bus.
+//
+//ebcp:hotpath
 func (r *Runner) l2fill(l *lane, line amo.Line, dirty bool) {
 	if _, _, victimDirty := r.l2.Fill(line, dirty); victimDirty {
 		r.mem.Write(l.core.Now(), mem.Demand)
@@ -498,6 +507,8 @@ func (r *Runner) l2fill(l *lane, line amo.Line, dirty bool) {
 }
 
 // stepRead handles an instruction fetch or load.
+//
+//ebcp:hotpath
 func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 	ifetch := rec.Kind == trace.IFetch
 	l1 := l.l1d
@@ -604,6 +615,8 @@ func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 // observeUseDist records how long after issue a prefetch was used. On a
 // CMP the prefetch may have been issued under another lane's (larger)
 // clock, so the distance clamps at zero.
+//
+//ebcp:hotpath
 func (l *lane) observeUseDist(useAt, issuedAt uint64) {
 	var d uint64
 	if useAt > issuedAt {
@@ -612,6 +625,7 @@ func (l *lane) observeUseDist(useAt, issuedAt uint64) {
 	l.reg.PBUseDist.Observe(d)
 }
 
+//ebcp:hotpath
 func (l *lane) countPBHit(ifetch bool) {
 	if ifetch {
 		l.pbHitIF++
@@ -622,6 +636,8 @@ func (l *lane) countPBHit(ifetch bool) {
 
 // outstandingMiss reports whether a miss to the line is already in flight
 // within the open epoch.
+//
+//ebcp:hotpath
 func (l *lane) outstandingMiss(line amo.Line) bool {
 	if !l.core.InEpoch() {
 		return false
@@ -629,6 +645,7 @@ func (l *lane) outstandingMiss(line amo.Line) bool {
 	return l.outstanding.has(line)
 }
 
+//ebcp:hotpath
 func (l *lane) noteOutstanding(line amo.Line) {
 	if l.core.InEpoch() {
 		l.outstanding.add(line)

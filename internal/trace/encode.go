@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
 )
 
 // Binary trace format:
@@ -164,7 +165,7 @@ func (tr *Reader) Next() (Record, bool) {
 		return tr.fail(err)
 	}
 	if gap > maxSaneGap {
-		return tr.fail(fmt.Errorf("trace: implausible gap %d", gap))
+		return tr.fail(ebcperr.Wrap(ebcperr.ErrCorruptTrace, "trace: implausible gap %d", gap))
 	}
 	flags, err := tr.r.ReadByte()
 	if err != nil {
@@ -172,7 +173,7 @@ func (tr *Reader) Next() (Record, bool) {
 	}
 	kind := Kind(flags & kindMask)
 	if kind >= numKinds {
-		return tr.fail(fmt.Errorf("trace: bad kind %d", kind))
+		return tr.fail(ebcperr.Wrap(ebcperr.ErrCorruptTrace, "trace: bad kind %d", kind))
 	}
 	du, err := binary.ReadUvarint(tr.r)
 	if err != nil {
@@ -180,7 +181,7 @@ func (tr *Reader) Next() (Record, bool) {
 	}
 	addr := uint64(int64(tr.prevAddr[kind]) + unzigzag(du))
 	if addr > maxSaneVarAddr {
-		return tr.fail(fmt.Errorf("trace: address %#x outside physical space", addr))
+		return tr.fail(ebcperr.Wrap(ebcperr.ErrCorruptTrace, "trace: address %#x outside physical space", addr))
 	}
 	tr.prevAddr[kind] = addr
 	rec := Record{

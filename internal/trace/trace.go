@@ -119,6 +119,8 @@ type BatchSource interface {
 // FillBatch fills dst from src, using the bulk path when src implements
 // BatchSource and falling back to per-record Next calls otherwise. It
 // returns the number of records written; 0 means end of stream.
+//
+//ebcp:hotpath
 func FillBatch(src Source, dst []Record) int {
 	if bs, ok := src.(BatchSource); ok {
 		return bs.ReadBatch(dst)
@@ -155,6 +157,8 @@ func NewBatcher(src Source, size int) *Batcher {
 }
 
 // Next implements Source.
+//
+//ebcp:hotpath
 func (b *Batcher) Next() (Record, bool) {
 	if b.pos >= b.n {
 		b.n = FillBatch(b.src, b.buf)
@@ -170,6 +174,8 @@ func (b *Batcher) Next() (Record, bool) {
 
 // ReadBatch implements BatchSource: buffered records drain first, then
 // the underlying source fills the remainder directly.
+//
+//ebcp:hotpath
 func (b *Batcher) ReadBatch(dst []Record) int {
 	n := copy(dst, b.buf[b.pos:b.n])
 	b.pos += n
@@ -189,6 +195,8 @@ type Slice struct {
 func NewSlice(recs []Record) *Slice { return &Slice{recs: recs} }
 
 // Next implements Source.
+//
+//ebcp:hotpath
 func (s *Slice) Next() (Record, bool) {
 	if s.pos >= len(s.recs) {
 		return Record{}, false
@@ -200,6 +208,8 @@ func (s *Slice) Next() (Record, bool) {
 
 // ReadBatch implements BatchSource by copying directly out of the
 // in-memory record slice.
+//
+//ebcp:hotpath
 func (s *Slice) ReadBatch(dst []Record) int {
 	n := copy(dst, s.recs[s.pos:])
 	s.pos += n
@@ -230,6 +240,8 @@ func NewLimit(src Source, maxInsts uint64) *Limit {
 }
 
 // Next implements Source.
+//
+//ebcp:hotpath
 func (l *Limit) Next() (Record, bool) {
 	if l.insts >= l.max {
 		return Record{}, false
@@ -247,6 +259,8 @@ func (l *Limit) Next() (Record, bool) {
 // instructions were consumed before it). To batch the read it may pull a
 // few records past the limit from the underlying source; after the limit
 // trips, the underlying source's position is therefore unspecified.
+//
+//ebcp:hotpath
 func (l *Limit) ReadBatch(dst []Record) int {
 	if l.insts >= l.max {
 		return 0

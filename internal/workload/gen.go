@@ -140,6 +140,7 @@ func New(p Params) (*Generator, error) {
 // Params returns the generator's parameters.
 func (g *Generator) Params() Params { return g.p }
 
+//ebcp:hotpath
 func (g *Generator) between(b [2]int) int {
 	if b[1] == b[0] {
 		return b[0]
@@ -148,6 +149,8 @@ func (g *Generator) between(b [2]int) int {
 }
 
 // randDataLine picks a line uniformly in the data space.
+//
+//ebcp:hotpath
 func (g *Generator) randDataLine() amo.Line {
 	return amo.LineOf(dataBase) + amo.Line(g.rng.Int63n(int64(g.p.DataLines)))
 }
@@ -242,6 +245,8 @@ func (g *Generator) singleSpan(line amo.Line) lineSpan {
 }
 
 // spanLines resolves a variant span to its lines in the arena.
+//
+//ebcp:hotpath
 func (g *Generator) spanLines(sp lineSpan) []amo.Line {
 	return g.lineArena[sp.off : uint32(sp.off)+uint32(sp.n)]
 }
@@ -377,6 +382,8 @@ func (g *Generator) beginTxn() {
 }
 
 // Next implements trace.Source. The stream is endless.
+//
+//ebcp:hotpath
 func (g *Generator) Next() (trace.Record, bool) {
 	for g.qpos >= len(g.queue) {
 		g.queue = g.queue[:0]
@@ -391,6 +398,8 @@ func (g *Generator) Next() (trace.Record, bool) {
 // ReadBatch implements trace.BatchSource, filling dst directly from the
 // emission queue and running the step state machine whenever the queue
 // drains. The stream is endless, so dst is always filled completely.
+//
+//ebcp:hotpath
 func (g *Generator) ReadBatch(dst []trace.Record) int {
 	n := 0
 	for n < len(dst) {
@@ -406,14 +415,17 @@ func (g *Generator) ReadBatch(dst []trace.Record) int {
 	return n
 }
 
+//ebcp:hotpath
 func (g *Generator) push(r trace.Record) {
 	r.Gap += uint32(g.pendingGap)
 	g.pendingGap = 0
-	g.queue = append(g.queue, r)
+	g.queue = append(g.queue, r) //ebcp:allow hotpathalloc amortized: the queue is drained via qpos and reused; it stops growing once it reaches the longest step
 }
 
 // synthStep emits the records of the next data step, advancing the
 // chain/transaction state machine.
+//
+//ebcp:hotpath
 func (g *Generator) synthStep() {
 	if g.stepIdx >= len(g.chains[g.chain].steps) {
 		// Chain finished: follow the successor graph or end the txn.
@@ -448,14 +460,14 @@ func (g *Generator) synthStep() {
 	if g.runNoise {
 		g.noiseBuf = g.noiseBuf[:0]
 		for range lines {
-			g.noiseBuf = append(g.noiseBuf, g.randDataLine())
+			g.noiseBuf = append(g.noiseBuf, g.randDataLine()) //ebcp:allow hotpathalloc amortized: noiseBuf is [:0]-reset and reused, capped at the widest span
 		}
 		lines = g.noiseBuf
 	}
 	if g.rng.Float64() < p.ColdExtra {
 		// A freshly allocated line joins the step's group: it overlaps
 		// with the head but never recurs.
-		g.coldBuf = append(g.coldBuf[:0], lines...)
+		g.coldBuf = append(g.coldBuf[:0], lines...) //ebcp:allow hotpathalloc amortized: coldBuf is [:0]-reset and reused, capped at the widest span plus one (this allow covers the next line too)
 		g.coldBuf = append(g.coldBuf, g.randDataLine())
 		lines = g.coldBuf
 	}
@@ -552,6 +564,7 @@ func (g *Generator) synthStep() {
 	}
 }
 
+//ebcp:hotpath
 func (g *Generator) noteHot(l amo.Line) {
 	g.hotRing[g.hotPos] = l
 	g.hotPos = (g.hotPos + 1) % len(g.hotRing)
