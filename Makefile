@@ -64,5 +64,5 @@ bench-parallel:
 # Compare against the committed BENCH_throughput.json before/after perf
 # work; see EXPERIMENTS.md ("Performance workflow").
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkSession(Serial|Parallel)' \
+	go test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkCMPThroughput|BenchmarkSession(Serial|Parallel)' \
 		-benchmem -benchtime 1x -count 1 . | go run ./cmd/benchjson -o BENCH_throughput.json

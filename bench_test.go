@@ -18,6 +18,7 @@ package ebcp
 // exposed as benchmark metrics (improvement percentages etc.).
 
 import (
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -182,4 +183,44 @@ func BenchmarkAblations(b *testing.B) {
 		metric(rep, b, "tuned EBCP", "Database", "tuned-db-%")
 		metric(rep, b, "no PB-hit lookups", "Database", "noPBhit-db-%")
 	})
+}
+
+// BenchmarkCMPThroughput measures the goroutine-per-lane CMP engine's
+// aggregate simulation speed across lane counts (fixed total work: the
+// per-lane window shrinks as lanes grow). The Minsts/s curve is the
+// scale-out figure of merit; on a single-CPU host it stays roughly flat
+// (the engine adds no contention but has no cores to spread across), on
+// a multi-core host it rises until the shared-event coordinator
+// saturates. `lanes` rides along as a metric so BENCH_throughput.json
+// is self-describing.
+func BenchmarkCMPThroughput(b *testing.B) {
+	bench := Database()
+	for _, lanes := range []int{1, 2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			cfg := DefaultSystem(bench)
+			cfg.WarmInsts = 0
+			cfg.MeasureInsts = 2_000_000 / uint64(lanes)
+			ecfg := TunedEBCP()
+			ecfg.TableEntries = 1 << 18
+			ecfg.Cores = lanes
+			b.ReportAllocs()
+			b.ResetTimer()
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				srcs := make([]TraceSource, lanes)
+				for j := range srcs {
+					w := bench
+					w.Seed += int64(j) * 7919
+					srcs[j] = must(NewTrace(w))
+				}
+				pf := must(NewEBCP(ecfg))
+				b.StartTimer()
+				res := must(RunCMPOpts(srcs, pf, cfg, CMPOptions{Workers: lanes}))
+				insts += res.Instructions()
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds()/1e6, "Minsts/s")
+			b.ReportMetric(float64(lanes), "lanes")
+		})
+	}
 }

@@ -39,6 +39,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit one ebcp.report/v1 JSON document for all experiments instead of rendered tables")
 		outFile    = flag.String("o", "", "write reports to a file instead of stdout")
 		workers    = flag.Int("workers", 0, "concurrent simulations (0 = all CPU cores)")
+		loadTable  = flag.String("load-corrtab", "", "warm-start every EBCP cell from this ebcp.corrtab/v1 table file")
 		timeout    = flag.Duration("timeout", 0, "stop scheduling new simulations after this long and render partial reports (0 = no limit)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -83,10 +84,11 @@ func main() {
 	}
 
 	opts := exp.Options{
-		Warm:     uint64(150e6 * *scale),
-		Measure:  uint64(100e6 * *scale),
-		MaxInsts: uint64(*maxInsts),
-		Workers:  *workers,
+		Warm:        uint64(150e6 * *scale),
+		Measure:     uint64(100e6 * *scale),
+		MaxInsts:    uint64(*maxInsts),
+		Workers:     *workers,
+		LoadCorrtab: *loadTable,
 	}
 	if *verbose {
 		opts.Progress = exp.ProgressWriter(os.Stderr)

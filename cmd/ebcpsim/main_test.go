@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -133,5 +134,44 @@ func TestJSONOmitsTextReport(t *testing.T) {
 	}
 	if strings.Contains(out, "epochs/1000 insts") {
 		t.Errorf("text report leaked into -json output:\n%s", out)
+	}
+}
+
+// TestCorrtabSaveLoadRoundTrip trains a table via -save-corrtab, then
+// warm-starts a second run from it via -load-corrtab; the table flags
+// must also fail loudly on prefetchers without a correlation table.
+func TestCorrtabSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "table.json")
+	out, code := runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-nobase", "-table-entries", "65536",
+		"-save-corrtab", path)
+	if code != 0 {
+		t.Fatalf("training run exit code = %d; output:\n%s", code, out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("training run did not write the table: %v", err)
+	}
+	if !strings.Contains(string(data), "ebcp.corrtab/v1") {
+		t.Errorf("saved table is not an ebcp.corrtab/v1 document:\n%.200s", data)
+	}
+
+	out, code = runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-nobase", "-table-entries", "65536",
+		"-load-corrtab", path)
+	if code != 0 {
+		t.Errorf("warm-started run exit code = %d; output:\n%s", code, out)
+	}
+
+	out, code = runCLI(t, "-prefetcher", "none", "-load-corrtab", path)
+	if code != 1 || !strings.Contains(out, "EBCP-family") {
+		t.Errorf("loading a table into a table-less prefetcher must fail; code %d, output:\n%s", code, out)
+	}
+
+	out, code = runCLI(t,
+		"-warm", "200000", "-measure", "200000", "-nobase",
+		"-load-corrtab", path) // default -table-entries is 1<<20: geometry mismatch
+	if code != 1 || !strings.Contains(out, "geometry") {
+		t.Errorf("geometry mismatch must fail the run; code %d, output:\n%s", code, out)
 	}
 }

@@ -48,6 +48,7 @@ import (
 
 	"ebcp/internal/cache"
 	"ebcp/internal/core"
+	"ebcp/internal/corrtab"
 	"ebcp/internal/cpu"
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/exp"
@@ -164,6 +165,42 @@ func Run(src TraceSource, pf Prefetcher, cfg SystemConfig) (Result, error) {
 func RunCMP(sources []TraceSource, pf Prefetcher, cfg SystemConfig) (CMPResult, error) {
 	return sim.RunCMP(sources, pf, cfg)
 }
+
+// CMPOptions tune how RunCMPOpts executes a CMP run (goroutine-per-lane
+// parallelism, memory-arbitration tick period) without changing the
+// lowest-clock-first semantics: results are byte-identical for any
+// Workers value.
+type CMPOptions = sim.CMPOptions
+
+// RunCMPOpts is RunCMP with execution options. CMPOptions{} reproduces
+// RunCMP exactly.
+func RunCMPOpts(sources []TraceSource, pf Prefetcher, cfg SystemConfig, opt CMPOptions) (CMPResult, error) {
+	return sim.RunCMPOpts(sources, pf, cfg, opt)
+}
+
+// Correlation-table serialization (warm start): a trained EBCP table
+// round-trips through the schema-versioned ebcp.corrtab/v1 JSON form, so
+// a long training run's table can seed later runs
+// (EBCP.RestoreTable). EncodeCorrtab writes EBCP.Table();
+// DecodeCorrtab strictly parses a document (unknown fields, wrong
+// schemas and non-canonical row order are rejected) into a table with
+// fresh statistics.
+type (
+	// CorrelationTable is the EBCP main-memory correlation table.
+	CorrelationTable = corrtab.Table
+	// CorrelationTableConfig describes a correlation table's geometry.
+	CorrelationTableConfig = corrtab.Config
+)
+
+// CorrtabSchemaV1 identifies version 1 of the correlation-table schema.
+const CorrtabSchemaV1 = corrtab.SchemaV1
+
+var (
+	// EncodeCorrtab serializes a correlation table as ebcp.corrtab/v1.
+	EncodeCorrtab = corrtab.Encode
+	// DecodeCorrtab strictly parses an ebcp.corrtab/v1 document.
+	DecodeCorrtab = corrtab.Decode
+)
 
 // Baseline returns the no-prefetching prefetcher.
 func Baseline() Prefetcher { return prefetch.None{} }

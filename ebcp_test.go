@@ -1,6 +1,7 @@
 package ebcp
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -118,5 +119,75 @@ func TestExperimentFacade(t *testing.T) {
 	}
 	if _, ok := rep.Value("CPI overall", "Database"); !ok {
 		t.Error("missing Database CPI")
+	}
+}
+
+// TestPublicCorrtabWarmStart drives the warm-start surface the way a
+// downstream user would: train, serialize, restore into a fresh
+// prefetcher, and run the parallel CMP engine against the sequential one.
+func TestPublicCorrtabWarmStart(t *testing.T) {
+	bench := Database()
+	cfg := DefaultSystem(bench)
+	cfg.WarmInsts, cfg.MeasureInsts = 1e6, 1e6
+
+	ecfg := TunedEBCP()
+	ecfg.TableEntries = 1 << 16
+	trained := must(NewEBCP(ecfg))
+	must(Run(must(NewTrace(bench)), trained, cfg))
+
+	var buf bytes.Buffer
+	if err := EncodeCorrtab(&buf, trained.Table()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), CorrtabSchemaV1) {
+		t.Errorf("serialized table does not carry schema %q", CorrtabSchemaV1)
+	}
+	tab, err := DecodeCorrtab(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := must(NewEBCP(ecfg))
+	if err := warm.RestoreTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Table().Occupancy() != trained.Table().Occupancy() {
+		t.Errorf("restored occupancy %d != trained %d",
+			warm.Table().Occupancy(), trained.Table().Occupancy())
+	}
+
+	// Geometry mismatches must be rejected, not silently accepted.
+	small := must(NewEBCP(TunedEBCP()))
+	if err := small.RestoreTable(tab); err == nil {
+		t.Error("restoring a 64K-entry table into a 1M-entry prefetcher must fail")
+	}
+
+	// The warm prefetcher drives a CMP run on the parallel engine; the
+	// sequential engine must agree exactly.
+	const lanes = 4
+	ecfg.Cores = lanes
+	newSources := func() []TraceSource {
+		srcs := make([]TraceSource, lanes)
+		for i := range srcs {
+			b := bench
+			b.Seed += int64(i) * 7919
+			srcs[i] = must(NewTrace(b))
+		}
+		return srcs
+	}
+	cfg.WarmInsts, cfg.MeasureInsts = 500e3, 500e3
+	newWarm := func() *EBCP {
+		pf := must(NewEBCP(ecfg))
+		if err := pf.RestoreTable(must(DecodeCorrtab(bytes.NewReader(buf.Bytes())))); err != nil {
+			t.Fatal(err)
+		}
+		return pf
+	}
+	seq := must(RunCMPOpts(newSources(), newWarm(), cfg, CMPOptions{Workers: 1}))
+	par := must(RunCMPOpts(newSources(), newWarm(), cfg, CMPOptions{Workers: lanes}))
+	for i := range seq.PerCore {
+		if seq.PerCore[i].Snapshot() != par.PerCore[i].Snapshot() {
+			t.Errorf("lane %d: parallel facade run diverges from sequential", i)
+		}
 	}
 }

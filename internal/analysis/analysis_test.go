@@ -36,6 +36,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{"hotpathalloc", "internal/hot"},
 		{"errwrap", "internal/fake"},
 		{"determinism", "internal/exp"},
+		{"corrtabcodec", "internal/corrtab"},
 		{"driver", "internal/driver"},
 	}
 	for _, fx := range fixtures {

@@ -225,6 +225,24 @@ func (e *EBCP) ResetStats() {
 // Table exposes the correlation table (tests, reporting).
 func (e *EBCP) Table() *corrtab.Table { return e.table }
 
+// RestoreTable replaces the correlation table with one deserialized from
+// a prior run (warm start): training resumes from the restored contents
+// instead of an empty table. The restored table's serialized geometry
+// (entries, addresses per entry) must match this prefetcher's
+// configuration; a mismatch returns an error wrapping ErrInvalidConfig
+// and leaves the current table in place. Structural parameters such as
+// the shard count are not part of the wire form and need not match.
+func (e *EBCP) RestoreTable(t *corrtab.Table) error {
+	got, want := t.Config(), e.table.Config()
+	if got.Entries != want.Entries || got.MaxAddrs != want.MaxAddrs {
+		return ebcperr.Invalidf(
+			"core: restored table geometry %dx%d does not match configured %dx%d",
+			got.Entries, got.MaxAddrs, want.Entries, want.MaxAddrs)
+	}
+	e.table = t
+	return nil
+}
+
 // Deactivate models the operating system reclaiming the table's physical
 // memory region (Section 3.4.1): the prefetcher enters the inactive state
 // and its table contents are lost.
@@ -306,7 +324,7 @@ func (e *EBCP) OnAccess(a prefetch.Access, ctx *prefetch.Context) {
 		if e.cfg.LRUWriteback && a.PBTableIndex >= 0 {
 			e.table.Touch(uint64(a.PBTableIndex), a.Line)
 			e.stats.LRUTouches++
-			ctx.TableWrite(a.Now)
+			ctx.TableWrite(a.Now, uint64(a.PBTableIndex))
 		}
 	}
 }
@@ -339,9 +357,10 @@ func (e *EBCP) train(cs *coreState, now uint64, ctx *prefetch.Context) {
 	// Read-modify-write of the 64B entry: the read is not timing critical
 	// and the write may be dropped under bandwidth pressure, losing the
 	// update.
-	ctx.TableRead(now)
+	idx := e.table.Index(key)
+	ctx.TableRead(now, idx)
 	e.stats.Trainings++
-	if !ctx.TableWrite(now) {
+	if !ctx.TableWrite(now, idx) {
 		e.stats.LostUpdates++
 		return
 	}
@@ -362,18 +381,19 @@ func (e *EBCP) rotate(cs *coreState) {
 func (e *EBCP) lookup(a prefetch.Access, ctx *prefetch.Context) {
 	e.stats.Lookups++
 	addrs := e.table.Lookup(a.Line)
+	entry := e.table.Index(a.Line)
 	if len(addrs) == 0 {
 		// Still charge the (useless) table read: the control cannot know
 		// the entry is empty without reading it.
-		ctx.TableRead(a.Now)
+		ctx.TableRead(a.Now, entry)
 		return
 	}
 	e.stats.Matches++
-	completion, ok := ctx.TableRead(a.Now)
+	completion, ok := ctx.TableRead(a.Now, entry)
 	if !ok {
 		return // read dropped under extreme pressure: no prefetches
 	}
-	idx := int64(e.table.Index(a.Line))
+	idx := int64(entry)
 	issued := 0
 	for _, addr := range addrs {
 		if issued >= e.cfg.Degree {

@@ -134,6 +134,9 @@ func (s *Session) simulateCMP(r cmpReq) cmpCell {
 	if err != nil {
 		return cmpCell{err: err}
 	}
+	if err := s.warmStart(pf); err != nil {
+		return cmpCell{err: err}
+	}
 	res, err := sim.RunCMP(sources, pf, cfg)
 	return cmpCell{res: res, err: err}
 }

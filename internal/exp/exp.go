@@ -12,13 +12,17 @@
 package exp
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"runtime"
 	"sync"
 
+	"ebcp/internal/core"
+	"ebcp/internal/corrtab"
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
@@ -51,6 +55,13 @@ type Options struct {
 	// Benchmarks overrides the workload set (nil = the paper's four
 	// commercial benchmarks). Tests use workload.Scaled variants here.
 	Benchmarks []workload.Params
+	// LoadCorrtab, when non-empty, warm-starts every EBCP-family cell
+	// from the serialized correlation table (ebcp.corrtab/v1) at this
+	// path. The file is read once per session and decoded afresh for
+	// each cell, so cells never share mutable table state; the table's
+	// geometry must match the cell's prefetcher configuration. Cells
+	// whose prefetcher is not an EBCP are unaffected.
+	LoadCorrtab string
 }
 
 // RunUpdate describes one completed simulation.
@@ -147,6 +158,35 @@ type Session struct {
 	cancelled map[string]struct{}
 
 	progressMu sync.Mutex
+
+	corrtabOnce sync.Once
+	corrtabData []byte
+	corrtabErr  error
+}
+
+// warmStart restores the Options.LoadCorrtab table into an EBCP-family
+// prefetcher (other prefetchers pass through untouched). The file is
+// read once per session; each call decodes a fresh table so concurrent
+// cells never share mutable state.
+func (s *Session) warmStart(pf prefetch.Prefetcher) error {
+	if s.opts.LoadCorrtab == "" {
+		return nil
+	}
+	e, ok := pf.(*core.EBCP)
+	if !ok {
+		return nil
+	}
+	s.corrtabOnce.Do(func() {
+		s.corrtabData, s.corrtabErr = os.ReadFile(s.opts.LoadCorrtab)
+	})
+	if s.corrtabErr != nil {
+		return s.corrtabErr
+	}
+	tab, err := corrtab.Decode(bytes.NewReader(s.corrtabData))
+	if err != nil {
+		return err
+	}
+	return e.RestoreTable(tab)
 }
 
 // simCell and cmpCell are the memoized outcome of one grid cell: the
@@ -303,6 +343,9 @@ func (s *Session) simulate(r runReq) simCell {
 	}
 	pf, err := r.pf()
 	if err != nil {
+		return simCell{err: err}
+	}
+	if err := s.warmStart(pf); err != nil {
 		return simCell{err: err}
 	}
 	res, err := sim.Run(src, pf, cfg)

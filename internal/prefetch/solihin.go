@@ -85,12 +85,13 @@ func (s *Solihin) OnAccess(a Access, ctx *Context) {
 
 	// Train: this miss is a successor of each of the last Depth misses.
 	// The engine performs a read-modify-write of the table per miss.
-	ctx.TableRead(a.Now)
+	entry := s.table.Index(a.Line)
+	ctx.TableRead(a.Now, entry)
 	s.scratch[0] = a.Line
 	for _, prev := range s.history {
 		s.table.Update(prev, s.scratch[:])
 	}
-	ctx.TableWrite(a.Now)
+	ctx.TableWrite(a.Now, entry)
 
 	// Slide the history window.
 	if len(s.history) == s.depth {
@@ -108,7 +109,7 @@ func (s *Solihin) OnAccess(a Access, ctx *Context) {
 	if len(addrs) == 0 {
 		return
 	}
-	completion, ok := ctx.TableRead(a.Now)
+	completion, ok := ctx.TableRead(a.Now, entry)
 	if !ok {
 		return // table read dropped: no prefetches this miss
 	}

@@ -99,132 +99,18 @@ func (r CMPResult) Speedup(baseline CMPResult) float64 {
 }
 
 // RunCMP simulates cores running the given traces (one per hardware
-// thread) on a shared-L2 machine with a shared prefetcher. Lanes are
-// advanced lowest-local-clock first, so shared-resource requests arrive
-// in near-global time order and the miss streams interleave the way they
-// would on real hardware. Warmup and measurement windows apply per
-// thread. It returns an ErrInvalidConfig-classified error for a bad
-// configuration or an empty source list, or an ErrShortTrace-classified
-// *CMPShortTraceError — alongside the contaminated partial CMPResult —
-// when any lane's trace ends inside its warmup window.
+// thread) on a shared-L2 machine with a shared prefetcher. Shared-state
+// events are ordered lowest-local-clock first (ties to the lowest lane
+// index), so shared-resource requests arrive in global time order and
+// the miss streams interleave the way they would on real hardware; the
+// scheduling is the shard-barrier engine in scale.go, run inline. Warmup
+// and measurement windows apply per thread. It returns an
+// ErrInvalidConfig-classified error for a bad configuration or an empty
+// source list, or an ErrShortTrace-classified *CMPShortTraceError —
+// alongside the contaminated partial CMPResult — when any lane's trace
+// ends inside its warmup window.
 func RunCMP(sources []trace.Source, pf prefetch.Prefetcher, cfg Config) (CMPResult, error) {
-	if len(sources) == 0 {
-		return CMPResult{}, ebcperr.Invalidf("sim: RunCMP needs at least one trace source")
-	}
-	r, err := NewRunner(cfg, pf) // provides the shared half; lane 0 included
-	if err != nil {
-		return CMPResult{}, err
-	}
-	lanes := make([]*lane, len(sources))
-	lanes[0] = r.lane
-	for i := 1; i < len(sources); i++ {
-		if lanes[i], err = newLane(i, cfg); err != nil {
-			return CMPResult{}, err
-		}
-	}
-
-	// The lane interleaving is decided record-by-record by the local
-	// clocks, so the loop itself cannot batch; per-lane Batchers amortize
-	// the interface dispatch instead. Each lane still receives exactly its
-	// own source's record sequence.
-	srcs := make([]trace.Source, len(sources))
-	for i, s := range sources {
-		srcs[i] = trace.NewBatcher(s, 1024)
-	}
-
-	warmEnd := cfg.WarmInsts
-	measureEnd := make([]uint64, len(lanes))
-	running := make([]bool, len(lanes))
-	warmedAll := warmEnd == 0
-	warmedLane := make([]bool, len(lanes))
-	for i := range running {
-		running[i] = true
-		warmedLane[i] = warmedAll
-	}
-
-	resetAll := func() {
-		for i, l := range lanes {
-			l.resetStats()
-			measureEnd[i] = l.core.Insts() + cfg.MeasureInsts
-		}
-		r.l2.ResetStats()
-		r.pb.ResetStats()
-		r.mem.ResetStats()
-		r.ctx.ResetStats()
-		if rs, ok := pf.(interface{ ResetStats() }); ok {
-			rs.ResetStats()
-		}
-	}
-	if warmedAll {
-		resetAll()
-	}
-	// shortWarm records that some lane's source was exhausted before it
-	// warmed: the grid-wide reset then ran early (or not at all), so every
-	// lane's measurement includes warmup.
-	shortWarm := false
-	checkAllWarmed := func() {
-		for _, w := range warmedLane {
-			if !w {
-				return
-			}
-		}
-		warmedAll = true
-		resetAll()
-	}
-
-	active := len(lanes)
-	for active > 0 {
-		// Advance the lane with the smallest local clock.
-		li := -1
-		for i, l := range lanes {
-			if running[i] && (li < 0 || l.core.Now() < lanes[li].core.Now()) {
-				li = i
-			}
-		}
-		l := lanes[li]
-		rec, ok := srcs[li].Next()
-		if !ok {
-			running[li] = false
-			active--
-			if !warmedAll && !warmedLane[li] {
-				// The lane's trace ended inside its warmup window: the grid
-				// can never warm fully. Count it as warmed so the remaining
-				// lanes proceed to a (flagged) measurement instead of
-				// spinning forever on the unreachable reset.
-				shortWarm = true
-				warmedLane[li] = true
-				checkAllWarmed()
-			}
-			continue
-		}
-		r.step(l, rec)
-
-		if !warmedAll {
-			if !warmedLane[li] && l.core.Insts() >= warmEnd {
-				warmedLane[li] = true
-				checkAllWarmed()
-			}
-			continue
-		}
-		if l.core.Insts() >= measureEnd[li] {
-			running[li] = false
-			active--
-		}
-	}
-
-	out := CMPResult{Prefetcher: pf.Name()}
-	for _, l := range lanes {
-		l.core.CloseEpoch()
-		res := r.laneResult(l)
-		// Statistics reset only once every lane warms, so one short trace
-		// pollutes every lane's measurement window.
-		res.WarmupIncomplete = shortWarm || !warmedAll
-		out.PerCore = append(out.PerCore, res)
-	}
-	if shortWarm || !warmedAll {
-		return out, &CMPShortTraceError{Partial: out}
-	}
-	return out, nil
+	return RunCMPOpts(sources, pf, cfg, CMPOptions{})
 }
 
 // String summarizes the CMP result.

@@ -1,0 +1,557 @@
+// CMP scale-out: the shard-barrier scheduler behind RunCMP.
+//
+// The original RunCMP loop advanced lanes one record at a time, picking
+// the running lane with the smallest local clock by a linear scan — an
+// O(lanes) cost per record that dominates at 16-64 lanes, and a shape
+// that cannot use a second core at all. This file replaces it with a
+// conservative run-ahead engine built on one observation: a record that
+// hits in a lane's private L1 touches nothing shared, so lanes may
+// execute arbitrarily long runs of such records concurrently without
+// changing any observable result. Only the shared-state events — L1
+// misses (which reach the shared L2, prefetch buffer, interconnect and
+// prefetcher), warmup crossings and source exhaustions — must be
+// serialized, and the engine serializes them in exactly the order the
+// sequential loop produced: ascending (pre-record clock, lane index).
+//
+// Each lane runs ahead through its local records and *parks* when it
+// reaches a shared event, yielding a park message keyed by its clock. A
+// coordinator keeps parked events in a min-heap and processes the
+// smallest key only once no concurrently running lane could still park
+// below it (every running lane's key lower bound is above the
+// candidate). Because keys strictly order all shared events and local
+// records commute, the machine state at every shared event is
+// byte-identical to the sequential execution — for any worker count and
+// any GOMAXPROCS. The same engine runs inline (Workers <= 1, no
+// goroutines) and parallel (goroutine per lane); the golden CMP tests
+// pin the former to the historical numbers and the differential suite
+// asserts the latter matches it byte for byte.
+//
+// During warmup one global sequence point exists that is not a shared
+// record: the grid-wide statistics reset once the last lane warms. Lanes
+// that have already warmed are granted a *horizon* — the minimum key any
+// still-unwarmed lane can reach — and park when they touch it, so no
+// lane's private statistics can run past the reset point. When the last
+// crossing is processed the reset key is pinned, every event below it
+// drains, the reset fires, and the grid switches to free-running
+// measurement.
+//
+// The epoch tick: every TickCycles of shared-event clock, the engine
+// invokes mem.Arbitrate, the deterministic cross-shard barrier that
+// re-imposes global demand priority over the sharded interconnect. Ticks
+// are driven by the totally-ordered shared-event stream, so they land
+// identically in sequential and parallel runs; with a single memory
+// shard the barrier is a no-op.
+package sim
+
+import (
+	"sync"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+)
+
+// CMPOptions tunes the CMP engine. Workers never changes results: for a
+// given configuration, source list and tick period, every worker count
+// produces byte-identical statistics. TickCycles is part of the modelled
+// timing when the interconnect is sharded (cfg.Mem.Shards > 1) — results
+// are deterministic for a given value but differ across values.
+type CMPOptions struct {
+	// Workers selects the execution mode: <= 1 runs the engine inline on
+	// the calling goroutine; > 1 runs one goroutine per lane with the
+	// coordinator on the caller.
+	Workers int
+	// TickCycles is the shared-event clock period of the cross-shard
+	// arbitration barrier (0 uses DefaultTickCycles). With a single
+	// memory shard the barrier is a no-op, so the period only shapes
+	// timing when cfg.Mem.Shards > 1.
+	TickCycles uint64
+}
+
+// DefaultTickCycles is the default arbitration-barrier period.
+const DefaultTickCycles = 8192
+
+// scaleKey totally orders shared events: by the lane's clock before the
+// event's record executes, then by lane index — exactly the sequential
+// loop's lowest-clock, lowest-index selection rule.
+type scaleKey struct {
+	clock uint64
+	lane  int32
+}
+
+//ebcp:hotpath
+func keyLess(a, b scaleKey) bool {
+	if a.clock != b.clock {
+		return a.clock < b.clock
+	}
+	return a.lane < b.lane
+}
+
+// parkKind says why a lane stopped running ahead.
+type parkKind uint8
+
+const (
+	// parkShared: the next record touches shared state. The record is
+	// consumed but unexecuted; the coordinator executes it at the park
+	// key.
+	parkShared parkKind = iota
+	// parkHorizon: a warmed lane reached the warmup horizon. No record
+	// was consumed; the lane resumes with a fresh horizon.
+	parkHorizon
+	// parkCross: the lane just executed the (local) record that crossed
+	// its warmup boundary. The key is the record's pre-execution key.
+	parkCross
+	// parkExhausted: the lane's source ended at this key.
+	parkExhausted
+	// parkDone: the lane completed its measurement window.
+	parkDone
+)
+
+// parkMsg is one lane's yield to the coordinator.
+type parkMsg struct {
+	lane int32
+	kind parkKind
+	key  scaleKey
+	rec  trace.Record
+}
+
+// grant is the coordinator's resume instruction to a lane.
+type grant struct {
+	// measuring: run to measureEnd retired instructions.
+	measuring  bool
+	measureEnd uint64
+	// selfWarmed (warmup phase only): the lane has crossed its warmup
+	// boundary and must not run past horizon, the earliest key at which
+	// a still-unwarmed lane might trigger the grid-wide reset.
+	selfWarmed bool
+	horizon    scaleKey
+}
+
+// laneLocal reports whether a record touches only lane-private state: L1
+// hits never reach the shared L2, prefetch buffer, interconnect or
+// prefetcher (stepStore returns on an L1D hit before the buffer
+// invalidation), and kinds without an address touch only the core model.
+// The probe is side-effect-free.
+//
+//ebcp:hotpath
+func laneLocal(l *lane, rec trace.Record) bool {
+	line := amo.LineOf(rec.Addr)
+	switch rec.Kind {
+	case trace.Load, trace.Store:
+		return l.l1d.Lookup(line)
+	case trace.IFetch:
+		return l.l1i.Lookup(line)
+	}
+	return true
+}
+
+// engine is the shard-barrier scheduler: per-lane run-ahead state plus
+// the coordinator's event heap and warmup/measurement bookkeeping.
+type engine struct {
+	r     *Runner
+	cfg   Config
+	lanes []*lane
+	srcs  []trace.Source
+
+	// Coordinator state. bound[i] is a lower bound on any future park
+	// key of lane i while it runs (set at resume); low[i] is the exact
+	// park key while it parks. Both feed event gating and the warmup
+	// horizon.
+	heap    []parkMsg
+	bound   []scaleKey
+	low     []scaleKey
+	running []bool
+	done    []bool
+	crossed []bool
+	warmed  []bool
+
+	runningN int
+	active   int
+	unwarmed int
+
+	measuring  bool
+	measureEnd []uint64
+	resetPend  bool
+	resetKey   scaleKey
+	shortWarm  bool
+
+	tickCycles uint64
+	lastTick   uint64
+
+	// Parallel mode plumbing (nil when inline).
+	parallel bool
+	resumeCh []chan grant
+	parkCh   chan parkMsg
+	wg       sync.WaitGroup
+}
+
+// runAhead executes lane li's local records under the given grant and
+// returns the park message that stopped it. It runs on the lane's
+// goroutine in parallel mode and inline otherwise, and allocates
+// nothing.
+//
+//ebcp:hotpath
+func (e *engine) runAhead(li int32, g grant) parkMsg {
+	l := e.lanes[li]
+	src := e.srcs[li]
+	warmEnd := e.cfg.WarmInsts
+	for {
+		key := scaleKey{clock: l.core.Now(), lane: li}
+		if g.measuring {
+			if l.core.Insts() >= g.measureEnd {
+				return parkMsg{lane: li, kind: parkDone, key: key}
+			}
+		} else if g.selfWarmed && !keyLess(key, g.horizon) {
+			return parkMsg{lane: li, kind: parkHorizon, key: key}
+		}
+		rec, ok := src.Next()
+		if !ok {
+			return parkMsg{lane: li, kind: parkExhausted, key: key}
+		}
+		if !laneLocal(l, rec) {
+			return parkMsg{lane: li, kind: parkShared, key: key, rec: rec}
+		}
+		e.r.step(l, rec)
+		if !g.measuring && !g.selfWarmed && l.core.Insts() >= warmEnd {
+			return parkMsg{lane: li, kind: parkCross, key: key}
+		}
+	}
+}
+
+// push adds a park message to the event min-heap.
+func (e *engine) push(m parkMsg) {
+	h := append(e.heap, m)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !keyLess(h[i].key, h[p].key) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// pop removes the minimum-key park message.
+func (e *engine) pop() parkMsg {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && keyLess(h[c+1].key, h[c].key) {
+			c++
+		}
+		if !keyLess(h[c].key, h[i].key) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.heap = h
+	return top
+}
+
+// gateOK reports whether the event at key k is safe to process: no
+// running lane could still park at or below k.
+func (e *engine) gateOK(k scaleKey) bool {
+	for i := range e.running {
+		if e.running[i] && !keyLess(k, e.bound[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// horizon returns the earliest key at which a still-unwarmed lane might
+// trigger the grid-wide reset (the pinned reset key once all have
+// crossed). Warmed lanes must not run past it.
+func (e *engine) horizon() scaleKey {
+	if e.resetPend {
+		return e.resetKey
+	}
+	h := scaleKey{clock: ^uint64(0), lane: int32(len(e.lanes))}
+	for i := range e.lanes {
+		if e.warmed[i] || e.done[i] {
+			continue
+		}
+		if keyLess(e.low[i], h) {
+			h = e.low[i]
+		}
+	}
+	return h
+}
+
+// resume hands lane li a grant matching the current phase and restarts
+// its run-ahead.
+func (e *engine) resume(li int32) {
+	var g grant
+	switch {
+	case e.measuring:
+		g = grant{measuring: true, measureEnd: e.measureEnd[li]}
+	case e.warmed[li]:
+		g = grant{selfWarmed: true, horizon: e.horizon()}
+	}
+	k := scaleKey{clock: e.lanes[li].core.Now(), lane: li}
+	e.bound[li] = k
+	e.low[li] = k
+	if e.parallel {
+		e.running[li] = true
+		e.runningN++
+		e.resumeCh[li] <- g
+	} else {
+		m := e.runAhead(li, g)
+		e.low[li] = m.key
+		e.push(m)
+	}
+}
+
+// finish retires a lane.
+func (e *engine) finish(li int32) {
+	if !e.done[li] {
+		e.done[li] = true
+		e.active--
+	}
+}
+
+// markWarm records lane li's warmup crossing at the given key; the last
+// crossing pins the grid-wide reset point.
+func (e *engine) markWarm(li int32, key scaleKey) {
+	e.warmed[li] = true
+	e.unwarmed--
+	if e.unwarmed == 0 {
+		e.resetPend = true
+		e.resetKey = key
+	}
+}
+
+// fireReset performs the grid-wide statistics reset — the sequential
+// loop's resetAll — and releases the lane whose crossing pinned it.
+func (e *engine) fireReset() {
+	for i, l := range e.lanes {
+		l.resetStats()
+		e.measureEnd[i] = l.core.Insts() + e.cfg.MeasureInsts
+	}
+	e.r.l2.ResetStats()
+	e.r.pb.ResetStats()
+	e.r.mem.ResetStats()
+	e.r.ctx.ResetStats()
+	if rs, ok := e.r.pf.(interface{ ResetStats() }); ok {
+		rs.ResetStats()
+	}
+	e.measuring = true
+	e.resetPend = false
+	for i := range e.lanes {
+		if e.crossed[i] {
+			e.crossed[i] = false
+			if !e.done[i] {
+				e.resume(int32(i))
+			}
+		}
+	}
+}
+
+// tick fires the cross-shard arbitration barrier when the shared-event
+// clock enters a new TickCycles period. Shared events are processed in
+// identical order in every mode, so the barrier lands deterministically.
+func (e *engine) tick(k scaleKey) {
+	if t := k.clock / e.tickCycles; t > e.lastTick {
+		e.lastTick = t
+		e.r.mem.Arbitrate()
+	}
+}
+
+// process executes one gated park event.
+func (e *engine) process(m parkMsg) {
+	li := m.lane
+	l := e.lanes[li]
+	switch m.kind {
+	case parkHorizon:
+		// Heap order guarantees the key is now below the recomputed
+		// horizon (any unwarmed lane parked below it would have been
+		// processed first), so the lane always makes progress.
+		e.resume(li)
+
+	case parkShared:
+		e.tick(m.key)
+		e.r.step(l, m.rec)
+		switch {
+		case e.measuring:
+			if l.core.Insts() >= e.measureEnd[li] {
+				e.finish(li)
+			} else {
+				e.resume(li)
+			}
+		case !e.warmed[li] && l.core.Insts() >= e.cfg.WarmInsts:
+			e.markWarm(li, m.key)
+			if e.resetPend {
+				e.crossed[li] = true
+			} else {
+				e.resume(li)
+			}
+		default:
+			e.resume(li)
+		}
+
+	case parkCross:
+		e.markWarm(li, m.key)
+		if e.resetPend {
+			e.crossed[li] = true
+		} else {
+			e.resume(li)
+		}
+
+	case parkExhausted:
+		e.finish(li)
+		if !e.measuring && !e.warmed[li] {
+			// Exhausted inside warmup: the grid can never warm fully.
+			// Count the lane as warmed so the remaining lanes proceed to
+			// a (flagged) measurement instead of waiting forever.
+			e.shortWarm = true
+			e.markWarm(li, m.key)
+		}
+
+	case parkDone:
+		e.finish(li)
+	}
+}
+
+// run drives the coordinator until every lane retires.
+func (e *engine) run() error {
+	if e.parallel {
+		e.resumeCh = make([]chan grant, len(e.lanes))
+		e.parkCh = make(chan parkMsg, len(e.lanes))
+		for i := range e.lanes {
+			e.resumeCh[i] = make(chan grant, 1)
+			e.wg.Add(1)
+			go func(li int32) {
+				defer e.wg.Done()
+				for g := range e.resumeCh[li] {
+					e.parkCh <- e.runAhead(li, g)
+				}
+			}(int32(i))
+		}
+		defer func() {
+			for _, ch := range e.resumeCh {
+				close(ch)
+			}
+			e.wg.Wait()
+		}()
+	}
+
+	if e.cfg.WarmInsts == 0 {
+		e.measuring = true
+		e.unwarmed = 0
+		for i := range e.warmed {
+			e.warmed[i] = true
+		}
+		e.fireReset()
+	}
+	for i := range e.lanes {
+		e.resume(int32(i))
+	}
+
+	for e.active > 0 || e.resetPend {
+		// Fire the pending grid-wide reset once every pre-reset event
+		// has drained: nothing running, nothing parked below the key.
+		if e.resetPend && e.runningN == 0 &&
+			(len(e.heap) == 0 || !keyLess(e.heap[0].key, e.resetKey)) {
+			e.fireReset()
+			continue
+		}
+		if len(e.heap) > 0 {
+			k := e.heap[0].key
+			if e.gateOK(k) && !(e.resetPend && !keyLess(k, e.resetKey)) {
+				e.process(e.pop())
+				continue
+			}
+		}
+		// Otherwise progress requires a running lane to park.
+		if e.runningN == 0 {
+			return ebcperr.Wrap(ebcperr.ErrInvariant,
+				"sim: CMP scheduler stalled with %d active lanes and %d parked events", e.active, len(e.heap))
+		}
+		msg := <-e.parkCh
+		e.running[msg.lane] = false
+		e.runningN--
+		e.low[msg.lane] = msg.key
+		e.push(msg)
+	}
+	return nil
+}
+
+// RunCMPOpts is RunCMP with engine options: Workers > 1 executes lanes
+// on their own goroutines. Results are byte-identical across all option
+// combinations; see RunCMP for semantics and errors.
+func RunCMPOpts(sources []trace.Source, pf prefetch.Prefetcher, cfg Config, opt CMPOptions) (CMPResult, error) {
+	if len(sources) == 0 {
+		return CMPResult{}, ebcperr.Invalidf("sim: RunCMP needs at least one trace source")
+	}
+	r, err := NewRunner(cfg, pf) // provides the shared half; lane 0 included
+	if err != nil {
+		return CMPResult{}, err
+	}
+	lanes := make([]*lane, len(sources))
+	lanes[0] = r.lane
+	for i := 1; i < len(sources); i++ {
+		if lanes[i], err = newLane(i, cfg); err != nil {
+			return CMPResult{}, err
+		}
+	}
+	// The record interleaving is decided by the lanes' local clocks, so
+	// the scheduler cannot batch across lanes; per-lane Batchers amortize
+	// the interface dispatch instead. Each lane still receives exactly
+	// its own source's record sequence.
+	srcs := make([]trace.Source, len(sources))
+	for i, s := range sources {
+		srcs[i] = trace.NewBatcher(s, 1024)
+	}
+
+	tick := opt.TickCycles
+	if tick == 0 {
+		tick = DefaultTickCycles
+	}
+	e := &engine{
+		r:          r,
+		cfg:        cfg,
+		lanes:      lanes,
+		srcs:       srcs,
+		heap:       make([]parkMsg, 0, len(lanes)+1),
+		bound:      make([]scaleKey, len(lanes)),
+		low:        make([]scaleKey, len(lanes)),
+		running:    make([]bool, len(lanes)),
+		done:       make([]bool, len(lanes)),
+		crossed:    make([]bool, len(lanes)),
+		warmed:     make([]bool, len(lanes)),
+		active:     len(lanes),
+		unwarmed:   len(lanes),
+		measureEnd: make([]uint64, len(lanes)),
+		tickCycles: tick,
+		parallel:   opt.Workers > 1 && len(lanes) > 1,
+	}
+	if err := e.run(); err != nil {
+		return CMPResult{}, err
+	}
+
+	out := CMPResult{Prefetcher: pf.Name()}
+	for _, l := range lanes {
+		l.core.CloseEpoch()
+		res := r.laneResult(l)
+		// Statistics reset only once every lane warms, so one short trace
+		// pollutes every lane's measurement window.
+		res.WarmupIncomplete = e.shortWarm || !e.measuring
+		out.PerCore = append(out.PerCore, res)
+	}
+	if e.shortWarm || !e.measuring {
+		return out, &CMPShortTraceError{Partial: out}
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ebcp/internal/core"
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/metrics"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/trace"
+	"ebcp/internal/workload"
+)
+
+// cmpConfig scales the windows down with the lane count so every lane
+// count costs roughly the same wall clock.
+func scaleConfig(b workload.Params, lanes int) Config {
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts = 400_000 / uint64(lanes)
+	cfg.MeasureInsts = 600_000 / uint64(lanes)
+	return cfg
+}
+
+// smallEBCP builds a fresh small-table EBCP (prefetcher state is shared
+// and mutable, so each run needs its own instance).
+func smallEBCP(t *testing.T, cores int) prefetch.Prefetcher {
+	t.Helper()
+	ecfg := core.DefaultConfig()
+	ecfg.TableEntries = 1 << 16
+	ecfg.Cores = cores
+	pf, err := core.New(ecfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pf
+}
+
+// reportBytes renders the per-core snapshots through the report encoder —
+// the exact bytes a JSON report would carry.
+func reportBytes(t *testing.T, res CMPResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, pc := range res.PerCore {
+		if err := metrics.WriteJSON(&buf, pc.Snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestCMPParallelMatchesSequential is the differential wall: for every
+// Table 1 workload and lane count, the goroutine-per-lane engine must
+// reproduce the inline engine's result byte for byte — identical
+// Snapshot() values and identical report JSON.
+func TestCMPParallelMatchesSequential(t *testing.T) {
+	lanesSet := []int{1, 2, 4, 8, 16}
+	if testing.Short() {
+		lanesSet = []int{2, 8}
+	}
+	for _, b := range workload.All() {
+		for _, lanes := range lanesSet {
+			t.Run(fmt.Sprintf("%s/%dlanes", b.Name, lanes), func(t *testing.T) {
+				cfg := scaleConfig(b, lanes)
+				seq, err := RunCMPOpts(cmpSources(b, lanes), smallEBCP(t, lanes), cfg, CMPOptions{Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := RunCMPOpts(cmpSources(b, lanes), smallEBCP(t, lanes), cfg, CMPOptions{Workers: lanes})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range seq.PerCore {
+					if seq.PerCore[i].Snapshot() != par.PerCore[i].Snapshot() {
+						t.Errorf("lane %d: parallel snapshot diverges from sequential", i)
+					}
+				}
+				if !bytes.Equal(reportBytes(t, seq), reportBytes(t, par)) {
+					t.Error("report JSON diverges between sequential and parallel runs")
+				}
+			})
+		}
+	}
+}
+
+// cmpHash runs one 16-lane configuration and hashes its report bytes.
+func cmpHash(t *testing.T, lanes int) [32]byte {
+	t.Helper()
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := scaleConfig(b, lanes)
+	res, err := RunCMPOpts(cmpSources(b, lanes), smallEBCP(t, lanes), cfg, CMPOptions{Workers: lanes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sha256.Sum256(reportBytes(t, res))
+}
+
+// TestCMPDeterminism is the scheduling-order stress: the same 16-lane
+// parallel run, repeated at several GOMAXPROCS settings, must hash to
+// the same output every time. The -short variant (wired into the CI
+// race-short gate) trims the repetition, not the lane count.
+func TestCMPDeterminism(t *testing.T) {
+	const lanes = 16
+	procs := []int{1, 2, 8}
+	reps := 5
+	if testing.Short() {
+		procs = []int{1, 8}
+		reps = 2
+	}
+	want := cmpHash(t, lanes)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		for r := 0; r < reps; r++ {
+			if got := cmpHash(t, lanes); got != want {
+				t.Fatalf("GOMAXPROCS=%d rep %d: output hash diverged", p, r)
+			}
+		}
+	}
+}
+
+// TestCMPLaneExhaustionTerminates extends the WarmupIncomplete fix to
+// the parallel scheduler at full width: one of 64 lanes exhausting
+// mid-warmup must neither wedge the coordinator nor leave the grid
+// unflagged, and a lane exhausting mid-measurement must retire cleanly.
+func TestCMPLaneExhaustionTerminates(t *testing.T) {
+	b, err := workload.ByName("Database")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 64
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 20_000, 20_000
+
+	// Lane 17 dies inside its warmup window.
+	srcs := cmpSources(b, lanes)
+	srcs[17] = trace.NewLimit(srcs[17], 1_000)
+	res, err := RunCMPOpts(srcs, prefetch.None{}, cfg, CMPOptions{Workers: lanes})
+	if !errors.Is(err, ebcperr.ErrShortTrace) {
+		t.Fatalf("short lane: err = %v, want ErrShortTrace", err)
+	}
+	var cste *CMPShortTraceError
+	if !errors.As(err, &cste) {
+		t.Fatalf("short lane error %T does not carry the partial result", err)
+	}
+	for i, pc := range res.PerCore {
+		if !pc.WarmupIncomplete {
+			t.Errorf("lane %d: WarmupIncomplete must be set when any lane's source is short", i)
+		}
+	}
+
+	// A lane exhausting after it warmed (mid-measurement) is a valid,
+	// just truncated, run: the grid completes without the flag.
+	srcs = cmpSources(b, lanes)
+	srcs[17] = trace.NewLimit(srcs[17], 60_000)
+	ok, err := RunCMPOpts(srcs, prefetch.None{}, cfg, CMPOptions{Workers: lanes})
+	if err != nil {
+		t.Fatalf("mid-measurement exhaustion must not fail the run: %v", err)
+	}
+	for i, pc := range ok.PerCore {
+		if pc.WarmupIncomplete {
+			t.Errorf("lane %d: WarmupIncomplete must be clear when all lanes warm", i)
+		}
+	}
+}
+
+// TestCMPShardedBusDifferential locks the tentpole composition: with the
+// interconnect actually sharded (and the arbitration barrier live), the
+// parallel engine still matches the inline engine byte for byte.
+func TestCMPShardedBusDifferential(t *testing.T) {
+	b, err := workload.ByName("TPC-W")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lanes = 8
+	cfg := scaleConfig(b, lanes)
+	cfg.Mem.Shards = 4
+	optSeq := CMPOptions{Workers: 1, TickCycles: 4096}
+	optPar := CMPOptions{Workers: lanes, TickCycles: 4096}
+	seq, err := RunCMPOpts(cmpSources(b, lanes), smallEBCP(t, lanes), cfg, optSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunCMPOpts(cmpSources(b, lanes), smallEBCP(t, lanes), cfg, optPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reportBytes(t, seq), reportBytes(t, par)) {
+		t.Error("sharded-bus parallel run diverges from sequential")
+	}
+}

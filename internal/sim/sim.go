@@ -490,7 +490,7 @@ func (r *Runner) stepStore(l *lane, rec trace.Record, line amo.Line) {
 		return
 	}
 	// Write-allocate fetch of the line, posted.
-	r.mem.Read(l.core.Now(), mem.Demand)
+	r.mem.Read(line, l.core.Now(), mem.Demand)
 	r.l2fill(l, line, true)
 	l.l1d.Fill(line, false)
 	l.missST++
@@ -501,8 +501,8 @@ func (r *Runner) stepStore(l *lane, rec trace.Record, line amo.Line) {
 //
 //ebcp:hotpath
 func (r *Runner) l2fill(l *lane, line amo.Line, dirty bool) {
-	if _, _, victimDirty := r.l2.Fill(line, dirty); victimDirty {
-		r.mem.Write(l.core.Now(), mem.Demand)
+	if victim, _, victimDirty := r.l2.Fill(line, dirty); victimDirty {
+		r.mem.Write(victim, l.core.Now(), mem.Demand)
 	}
 }
 
@@ -593,7 +593,7 @@ func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 		default:
 			// Real off-chip miss.
 			issueAt := l.core.PrepareMiss(rec.DependsOnMiss, rec.Serializing)
-			completion, _ := r.mem.Read(issueAt, mem.Demand)
+			completion, _ := r.mem.Read(line, issueAt, mem.Demand)
 			a.NewEpoch = l.core.Miss(completion, ifetch)
 			l.noteOutstanding(line)
 			r.l2fill(l, line, false)
