@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet lint cover race race-short fuzz bench-parallel bench-json
+.PHONY: tier1 vet lint cover race race-short fuzz bench-parallel bench-json smoke
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -60,9 +60,22 @@ bench-parallel:
 	go test -bench 'BenchmarkSession(Serial|Parallel)' -benchtime 1x -count 1
 
 # Refresh the committed throughput baseline: single-run simulator speed
-# (Minsts/s, allocs/op) plus the serial/parallel session grid, as JSON.
+# (Minsts/s, allocs/op), the serial/parallel session grid, and the
+# daemon's serving curve (hit/miss/mixed × 1/4/16 clients), as JSON.
 # Compare against the committed BENCH_throughput.json before/after perf
-# work; see EXPERIMENTS.md ("Performance workflow").
+# work; see EXPERIMENTS.md ("Performance workflow" and "Serving
+# benchmarks"). BENCH_HOST_NOTE lands in the document's host_note field
+# — describe the machine when refreshing the committed baseline.
+BENCH_HOST_NOTE ?=
 bench-json:
-	go test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkCMPThroughput|BenchmarkSession(Serial|Parallel)' \
-		-benchmem -benchtime 1x -count 1 . | go run ./cmd/benchjson -o BENCH_throughput.json
+	( go test -run '^$$' -bench 'BenchmarkSimThroughput|BenchmarkCMPThroughput|BenchmarkSession(Serial|Parallel)' \
+		-benchmem -benchtime 1x -count 1 . ; \
+	  go test -run '^$$' -bench 'BenchmarkServe' \
+		-benchmem -benchtime 5x -count 1 ./internal/serve ) \
+		| go run ./cmd/benchjson -host-note "$(BENCH_HOST_NOTE)" -o BENCH_throughput.json
+
+# Daemon smoke: boot ebcpd, POST an experiment, assert a valid report,
+# a cache hit on the identical repeat, and a clean SIGTERM drain — the
+# same contract CI's "daemon smoke" step runs.
+smoke:
+	go test ./cmd/ebcpd -run TestDaemonSmoke -count 1 -v

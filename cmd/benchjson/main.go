@@ -44,16 +44,23 @@ type Result struct {
 // Doc is the emitted file: a schema marker, enough machine context to
 // make later comparisons honest, then the results in input order.
 type Doc struct {
-	Schema    string   `json:"schema"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Results   []Result `json:"results"`
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// HostNote is freeform context about the machine the numbers came
+	// from (-host-note: container limits, shared tenancy, CPU model).
+	// Cross-host comparisons are the main way a committed baseline
+	// misleads — see EXPERIMENTS.md's variance note — so the note rides
+	// in the document rather than in commit messages.
+	HostNote string   `json:"host_note,omitempty"`
+	Results  []Result `json:"results"`
 }
 
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout; benchmark text then echoes to stderr)")
+	hostNote := flag.String("host-note", "", "freeform machine context recorded as host_note (e.g. \"shared CI runner, 1 vCPU\")")
 	flag.Parse()
 
 	doc := Doc{
@@ -62,6 +69,7 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		HostNote:  *hostNote,
 	}
 
 	echo := os.Stdout

@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"ebcp/internal/metrics"
+	"ebcp/internal/serve"
+)
+
+// TestMain lets the test binary impersonate the daemon: when the marker
+// env var is set, run main() with its args instead of the test suite.
+func TestMain(m *testing.M) {
+	if spec, ok := os.LookupEnv("EBCPD_ARGS"); ok {
+		os.Args = append([]string{"ebcpd"}, strings.Split(spec, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon re-executes this test binary as ebcpd on a free port and
+// scrapes the resolved address from its "listening on" line.
+type daemon struct {
+	cmd  *exec.Cmd
+	url  string
+	errs *bytes.Buffer // stderr after the address line
+	done chan error
+}
+
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	args = append([]string{"-addr", "127.0.0.1:0"}, args...)
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "EBCPD_ARGS="+strings.Join(args, "\x1f"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	d := &daemon{cmd: cmd, errs: &bytes.Buffer{}, done: make(chan error, 1)}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "ebcpd: listening on "); ok {
+			d.url = "http://" + addr
+			break
+		}
+		fmt.Fprintln(d.errs, line)
+	}
+	if d.url == "" {
+		cmd.Wait()
+		t.Fatalf("daemon never announced its address; stderr:\n%s", d.errs)
+	}
+	// Keep draining stderr so the daemon never blocks on the pipe, and
+	// hand Wait's result to whoever asks.
+	go func() {
+		for sc.Scan() {
+			fmt.Fprintln(d.errs, sc.Text())
+		}
+		d.done <- cmd.Wait()
+	}()
+	return d
+}
+
+func (d *daemon) metrics(t *testing.T) serve.StatsV1 {
+	t.Helper()
+	resp, err := http.Get(d.url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.StatsV1
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestDaemonSmoke is the end-to-end contract the CI smoke step relies
+// on: boot, serve a strictly-valid report, prove the second identical
+// POST is a cache hit, and exit 0 on SIGTERM without dropping anything.
+func TestDaemonSmoke(t *testing.T) {
+	d := startDaemon(t, "-workers", "2")
+
+	body := `{"schema":"ebcp.runreq/v1","experiment":"table1","warm_insts":300000,"measure_insts":200000,"bench_scale":0.05}`
+	postOnce := func() string {
+		resp, err := http.Post(d.url+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/run = %d, body %s", resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+
+	out1 := postOnce()
+	rep, err := metrics.DecodeReportV1(strings.NewReader(out1))
+	if err != nil {
+		t.Fatalf("response is not a strict ebcp.report/v1: %v", err)
+	}
+	if rep.Tool != "ebcpd" || len(rep.Grids) != 1 || rep.Grids[0].NACells != 0 {
+		t.Fatalf("unexpected report: tool=%q grids=%d", rep.Tool, len(rep.Grids))
+	}
+
+	st := d.metrics(t)
+	if st.Schema != serve.StatsSchemaV1 {
+		t.Fatalf("metrics schema = %q, want %q", st.Schema, serve.StatsSchemaV1)
+	}
+	runsAfterFirst := st.SimRuns
+	if runsAfterFirst == 0 {
+		t.Fatal("first request simulated nothing")
+	}
+
+	if out2 := postOnce(); out2 != out1 {
+		t.Error("identical POSTs returned different reports")
+	}
+	st = d.metrics(t)
+	if st.SimRuns != runsAfterFirst {
+		t.Errorf("second identical POST re-simulated: %d → %d runs", runsAfterFirst, st.SimRuns)
+	}
+	if st.Cache.Hits == 0 {
+		t.Errorf("second POST did not register cache hits: %+v", st.Cache)
+	}
+	if st.Completed != 2 || st.Failed != 0 {
+		t.Errorf("completed=%d failed=%d, want 2/0", st.Completed, st.Failed)
+	}
+
+	// Healthy before shutdown.
+	resp, err := http.Get(d.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz = %d, want 200", resp.StatusCode)
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-d.done:
+		if err != nil {
+			t.Errorf("daemon exited non-zero after SIGTERM: %v\nstderr:\n%s", err, d.errs)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit within 30s of SIGTERM")
+	}
+	for _, want := range []string{"ebcpd: draining", "ebcpd: drained, exiting"} {
+		if !strings.Contains(d.errs.String(), want) {
+			t.Errorf("stderr missing %q:\n%s", want, d.errs)
+		}
+	}
+}
+
+// TestDaemonBadFlagsExitOne pins flag validation without ever binding a
+// socket.
+func TestDaemonBadFlagsExitOne(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"negative workers", []string{"-workers", "-1"}},
+		{"zero queue", []string{"-queue", "0"}},
+		{"negative cache", []string{"-cache-mb", "-1"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command(os.Args[0])
+			cmd.Env = append(os.Environ(), "EBCPD_ARGS="+strings.Join(c.args, "\x1f"))
+			out, err := cmd.CombinedOutput()
+			ee, ok := err.(*exec.ExitError)
+			if !ok || ee.ExitCode() != 1 {
+				t.Errorf("exit = %v, want code 1 (output: %s)", err, out)
+			}
+		})
+	}
+}

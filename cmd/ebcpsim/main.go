@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ebcp"
+	"ebcp/internal/ebcperr"
 )
 
 // die prints a one-line diagnostic and exits non-zero. Every failure —
@@ -37,21 +38,21 @@ func die(format string, args ...any) {
 func validateFlags(degree, tableEntries, pbEntries int, warm, measure, maxInsts, readGBps, writeGBps float64) error {
 	switch {
 	case degree <= 0:
-		return fmt.Errorf("-degree must be positive (got %d)", degree)
+		return ebcperr.Invalidf("-degree must be positive (got %d)", degree)
 	case tableEntries <= 0:
-		return fmt.Errorf("-table-entries must be positive (got %d)", tableEntries)
+		return ebcperr.Invalidf("-table-entries must be positive (got %d)", tableEntries)
 	case pbEntries <= 0:
-		return fmt.Errorf("-pb must be positive (got %d)", pbEntries)
+		return ebcperr.Invalidf("-pb must be positive (got %d)", pbEntries)
 	case warm < 0:
-		return fmt.Errorf("-warm must be non-negative (got %g)", warm)
+		return ebcperr.Invalidf("-warm must be non-negative (got %g)", warm)
 	case measure <= 0:
-		return fmt.Errorf("-measure must be positive (got %g)", measure)
+		return ebcperr.Invalidf("-measure must be positive (got %g)", measure)
 	case maxInsts < 0:
-		return fmt.Errorf("-max-insts must be non-negative (got %g)", maxInsts)
+		return ebcperr.Invalidf("-max-insts must be non-negative (got %g)", maxInsts)
 	case readGBps <= 0:
-		return fmt.Errorf("-read-gbps must be positive (got %g)", readGBps)
+		return ebcperr.Invalidf("-read-gbps must be positive (got %g)", readGBps)
 	case writeGBps <= 0:
-		return fmt.Errorf("-write-gbps must be positive (got %g)", writeGBps)
+		return ebcperr.Invalidf("-write-gbps must be positive (got %g)", writeGBps)
 	}
 	return nil
 }
@@ -293,7 +294,7 @@ func buildPrefetcher(name string, degree, tableEntries int) (ebcp.Prefetcher, er
 	case "solihin-6,1", "solihin61":
 		return ebcp.NewSolihin(6, 1)
 	}
-	return nil, fmt.Errorf("unknown prefetcher %q", name)
+	return nil, ebcperr.Invalidf("unknown prefetcher %q", name)
 }
 
 func printResult(bench string, r ebcp.Result) {

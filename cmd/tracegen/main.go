@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/trace"
 	"ebcp/internal/workload"
 )
@@ -43,7 +44,7 @@ func main() {
 	}
 
 	if *insts <= 0 {
-		fatal(fmt.Errorf("-insts must be positive (got %g)", *insts))
+		fatal(ebcperr.Invalidf("-insts must be positive (got %g)", *insts))
 	}
 	p, err := workload.ByName(*name)
 	if err != nil {

@@ -60,7 +60,7 @@ type Analyzer interface {
 
 // All returns every analyzer in the suite.
 func All() []Analyzer {
-	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}}
+	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}, ServeCtx{}}
 }
 
 // Run executes the analyzers over the packages, drops diagnostics

@@ -38,6 +38,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{"determinism", "internal/exp"},
 		{"corrtabcodec", "internal/corrtab"},
 		{"driver", "internal/driver"},
+		{"servectx", "internal/fakeserve"},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.dir, func(t *testing.T) {

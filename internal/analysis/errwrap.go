@@ -6,7 +6,7 @@ import (
 )
 
 // ErrWrap enforces the typed-error taxonomy (PR 3): errors built inside
-// function bodies in internal/* must be classifiable — either
+// function bodies in internal/* and cmd/* must be classifiable — either
 // constructed through the ebcperr package (Wrap/Invalidf/Cancelledf or
 // a custom error type) or chained to an existing error with %w. A bare
 // errors.New, or a fmt.Errorf whose format has no %w verb, produces an
@@ -23,7 +23,10 @@ func (ErrWrap) Name() string { return "errwrap" }
 
 // Check implements Analyzer.
 func (ErrWrap) Check(p *Pkg) []Diagnostic {
-	if !strings.HasPrefix(p.Rel, "internal/") || p.Rel == "internal/ebcperr" {
+	if !strings.HasPrefix(p.Rel, "internal/") && !strings.HasPrefix(p.Rel, "cmd/") {
+		return nil
+	}
+	if p.Rel == "internal/ebcperr" {
 		return nil
 	}
 	var out []Diagnostic

@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ServeCtx enforces the serving-path cancellation contract (PR 7): an
+// HTTP handler's work must die with its request. Any function that
+// receives a *http.Request and then builds its own root context —
+// context.Background(), context.TODO() — or starts a session without
+// one — exp.NewSession — has detached from the client: a closed
+// connection or expired deadline keeps simulating. The fix is always
+// the same: thread r.Context() through, and use exp.NewSessionContext.
+//
+// The check is syntactic like the rest of the suite: it looks for
+// functions with a parameter of type *http.Request (by selector, for
+// any import alias of net/http) and scans their bodies. Functions the
+// request never reaches are out of scope — a daemon's main() may well
+// own a Background root for its signal handling.
+type ServeCtx struct{}
+
+// Name implements Analyzer.
+func (ServeCtx) Name() string { return "servectx" }
+
+// Check implements Analyzer.
+func (ServeCtx) Check(p *Pkg) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		named, _ := importNames(f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasRequestParam(fn, named) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case selectorOn(call.Fun, named, "context", "Background"):
+					out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "servectx",
+						"context.Background in a request-handling function detaches work from the client; thread r.Context() instead"})
+				case selectorOn(call.Fun, named, "context", "TODO"):
+					out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "servectx",
+						"context.TODO in a request-handling function detaches work from the client; thread r.Context() instead"})
+				case selectorOn(call.Fun, named, "ebcp/internal/exp", "NewSession"):
+					out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "servectx",
+						"exp.NewSession in a request-handling function cannot be cancelled; use exp.NewSessionContext with the request's context"})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// hasRequestParam reports whether any parameter of fn is *http.Request
+// (under whatever name net/http is imported as in this file).
+func hasRequestParam(fn *ast.FuncDecl, named map[string]string) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		if selectorOn(star.X, named, "net/http", "Request") {
+			return true
+		}
+	}
+	return false
+}

@@ -15,6 +15,9 @@
 //	    carried an unsupported schema.
 //	ErrInvariant — a metrics snapshot failed reconciliation; the
 //	    counters contradict each other and the run must not be trusted.
+//	ErrOverloaded — a bounded resource (the serving daemon's request
+//	    queue) was full and the work was rejected rather than queued
+//	    without bound; the caller should retry later.
 //
 // Errors carrying a sentinel keep a human-readable message of their own;
 // the sentinel is reachable through errors.Is/errors.Unwrap, not pasted
@@ -45,6 +48,10 @@ var (
 	// ErrInvariant classifies metrics snapshots whose counters fail
 	// reconciliation (Snapshot.CheckInvariants).
 	ErrInvariant = errors.New("metrics invariant violated")
+	// ErrOverloaded classifies work rejected because a bounded queue or
+	// pool was full (backpressure, not failure: retrying later may
+	// succeed). The serving layer maps it to HTTP 429.
+	ErrOverloaded = errors.New("overloaded")
 )
 
 // wrapped pairs a formatted message with a sentinel. Error returns only

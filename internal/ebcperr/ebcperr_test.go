@@ -16,6 +16,7 @@ func TestWrapClassifiesWithoutPastingSentinelText(t *testing.T) {
 		{Invalidf("cache: %d ways", 0), ErrInvalidConfig, []error{ErrShortTrace, ErrCancelled}, "cache: 0 ways"},
 		{Cancelledf("cell %s skipped", "x"), ErrCancelled, []error{ErrInvalidConfig, ErrShortTrace}, "cell x skipped"},
 		{Wrap(ErrShortTrace, "ended at %d", 7), ErrShortTrace, []error{ErrInvalidConfig, ErrCancelled}, "ended at 7"},
+		{Wrap(ErrOverloaded, "queue full (%d waiting)", 64), ErrOverloaded, []error{ErrInvalidConfig, ErrCancelled}, "queue full (64 waiting)"},
 	}
 	for _, c := range cases {
 		if !errors.Is(c.err, c.sentinel) {

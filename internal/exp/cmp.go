@@ -91,18 +91,20 @@ type cmpReq struct {
 }
 
 // execCMP returns a CMP cell's result, simulating it at most once per
-// session (single-flight and error-memoizing, like exec).
+// session (single-flight and error-memoizing, like exec) and at most
+// once per process when a shared store backs the session.
 func (s *Session) execCMP(r cmpReq) (sim.CMPResult, error) {
-	v, st := s.cmps.do(s.ctx, r.key, func() cmpCell { return s.simulateCMP(r) })
-	switch st {
-	case runComputed:
-		s.noteRun(r.key, "IPC", v.res.AggregateIPC(), v.err)
-	case runShared:
-		s.noteHit()
-	case runCancelled:
+	v, st := s.cmps.do(s.ctx, r.key, func() cmpCell { return s.computeCMP(r) })
+	if st == runCancelled {
 		s.noteCancelled(r.key)
-		return sim.CMPResult{}, ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
+		err := ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
+		s.noteErr(err)
+		return sim.CMPResult{}, err
 	}
+	if st == runShared {
+		s.noteHit()
+	}
+	s.noteErr(v.err)
 	return v.res, v.err
 }
 

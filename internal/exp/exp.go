@@ -62,6 +62,14 @@ type Options struct {
 	// geometry must match the cell's prefetcher configuration. Cells
 	// whose prefetcher is not an EBCP are unaffected.
 	LoadCorrtab string
+	// Cache, when non-nil, backs the session with a process-wide shared
+	// result store: cells whose canonical content-hash key (CellKey)
+	// matches an earlier computation — in this session or any other —
+	// are served from the store instead of simulating, and concurrent
+	// identical cells across sessions coalesce into one simulation.
+	// Cache never changes what a session computes, only whether it has
+	// to; it is ignored by the cache key itself.
+	Cache Cache
 }
 
 // RunUpdate describes one completed simulation.
@@ -151,17 +159,23 @@ type Session struct {
 	sims sfGroup[simCell]
 	cmps sfGroup[cmpCell]
 
-	statMu    sync.Mutex
-	runs      int
-	cacheHits int
-	failures  int
-	cancelled map[string]struct{}
+	statMu     sync.Mutex
+	runs       int
+	cacheHits  int
+	sharedHits int
+	failures   int
+	firstErr   error
+	cancelled  map[string]struct{}
 
 	progressMu sync.Mutex
 
 	corrtabOnce sync.Once
 	corrtabData []byte
 	corrtabErr  error
+
+	seedOnce sync.Once
+	seed     string
+	seedErr  error
 }
 
 // warmStart restores the Options.LoadCorrtab table into an EBCP-family
@@ -294,6 +308,29 @@ func (s *Session) noteHit() {
 	s.statMu.Unlock()
 }
 
+// noteErr remembers the first cell error a consumer observed (nil calls
+// are no-ops). The serving layer uses it to classify an all-n/a report
+// with a concrete failure instead of a generic one.
+func (s *Session) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	s.statMu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.statMu.Unlock()
+}
+
+// FirstError returns the first cell error any consumer of this session
+// observed — failed simulations, shared-store failures replayed to this
+// session, or cancellation skips — or nil for a fully clean session.
+func (s *Session) FirstError() error {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	return s.firstErr
+}
+
 // runReq names one single-core simulation cell: the memo key plus
 // everything needed to execute it. Experiments build the same runReq in
 // their simulate and collect phases, so each cell is defined exactly
@@ -306,22 +343,24 @@ type runReq struct {
 	mut   func(*sim.Config)
 }
 
-// exec returns a cell's result, simulating it at most once per session.
-// A failed cell's error is memoized with it and replayed to every
-// consumer. Under a cancelled context, cells that never ran return an
-// ErrCancelled-classified error (and are not memoized, so a later
-// un-cancelled session state is not poisoned).
+// exec returns a cell's result, simulating it at most once per session
+// — and, when the session is backed by a shared store, at most once per
+// process (computeSim in cache.go). A failed cell's error is memoized
+// with it and replayed to every consumer. Under a cancelled context,
+// cells that never ran return an ErrCancelled-classified error (and are
+// not memoized, so a later un-cancelled session state is not poisoned).
 func (s *Session) exec(r runReq) (sim.Result, error) {
-	v, st := s.sims.do(s.ctx, r.key, func() simCell { return s.simulate(r) })
-	switch st {
-	case runComputed:
-		s.noteRun(r.key, "CPI", v.res.CPI(), v.err)
-	case runShared:
-		s.noteHit()
-	case runCancelled:
+	v, st := s.sims.do(s.ctx, r.key, func() simCell { return s.computeSim(r) })
+	if st == runCancelled {
 		s.noteCancelled(r.key)
-		return sim.Result{}, ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
+		err := ebcperr.Cancelledf("exp: cell %s not simulated: %v", r.key, s.ctx.Err())
+		s.noteErr(err)
+		return sim.Result{}, err
 	}
+	if st == runShared {
+		s.noteHit()
+	}
+	s.noteErr(v.err)
 	return v.res, v.err
 }
 

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(1 << 20)
+	calls := 0
+	compute := func() (any, int) { calls++; return "v", 100 }
+
+	v, hit := c.Do("k", compute)
+	if hit || v != "v" || calls != 1 {
+		t.Fatalf("first Do: v=%v hit=%v calls=%d, want v hit=false calls=1", v, hit, calls)
+	}
+	v, hit = c.Do("k", compute)
+	if !hit || v != "v" || calls != 1 {
+		t.Fatalf("second Do: v=%v hit=%v calls=%d, want v hit=true calls=1", v, hit, calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Joins != 0 || st.Entries != 1 || st.Bytes != 100 {
+		t.Errorf("stats = %+v, want hits=1 misses=1 joins=0 entries=1 bytes=100", st)
+	}
+	if st.HitRatio != 0.5 {
+		t.Errorf("hit ratio = %v, want 0.5", st.HitRatio)
+	}
+	if st.ComputeUS.Count != 1 {
+		t.Errorf("compute histogram count = %d, want 1 (one computation)", st.ComputeUS.Count)
+	}
+}
+
+// TestCacheCoalescesInflight proves singleflight: N concurrent Do calls
+// of one key run compute once; everyone else joins.
+func TestCacheCoalescesInflight(t *testing.T) {
+	c := NewCache(1 << 20)
+	const waiters = 8
+
+	var calls atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// The flight owner blocks in compute until released.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Do("k", func() (any, int) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, 8
+		})
+	}()
+	<-started
+
+	results := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit := c.Do("k", func() (any, int) {
+				calls.Add(1)
+				return -1, 8
+			})
+			if !hit {
+				t.Error("joiner did not report a hit")
+			}
+			results <- v.(int)
+		}()
+	}
+	// Wait until every joiner is parked on the flight, then release.
+	for c.Stats().Joins < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want 1", n)
+	}
+	for v := range results {
+		if v != 42 {
+			t.Errorf("joiner got %d, want 42", v)
+		}
+	}
+	if st := c.Stats(); st.Joins != waiters || st.Misses != 1 {
+		t.Errorf("stats = %+v, want joins=%d misses=1", st, waiters)
+	}
+}
+
+// TestCacheEvictsLRUUnderBudget inserts three 100-byte values into a
+// 250-byte cache and checks the least-recently-*used* (not inserted)
+// entry goes first.
+func TestCacheEvictsLRUUnderBudget(t *testing.T) {
+	c := NewCache(250)
+	put := func(k string) { c.Do(k, func() (any, int) { return k, 100 }) }
+	get := func(k string) bool { _, hit := c.Do(k, func() (any, int) { return k, 100 }); return hit }
+
+	put("a")
+	put("b")
+	if !get("a") { // touch a: b is now LRU
+		t.Fatal("a should be cached")
+	}
+	put("c") // 300 bytes > 250: evicts b
+	if !get("a") {
+		t.Error("a (recently used) was evicted, want b")
+	}
+	if !get("c") {
+		t.Error("c (just inserted) was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if get("b") {
+		t.Error("b still cached, want evicted")
+	}
+	if st.Bytes > 250 {
+		t.Errorf("bytes = %d exceeds budget 250 after eviction", st.Bytes)
+	}
+}
+
+// TestCacheKeepsOversizedSingleton: one entry larger than the whole
+// budget stays (the cache never refuses what it just computed).
+func TestCacheKeepsOversizedSingleton(t *testing.T) {
+	c := NewCache(10)
+	c.Do("big", func() (any, int) { return "x", 1000 })
+	if _, hit := c.Do("big", func() (any, int) { return "y", 1000 }); !hit {
+		t.Error("oversized singleton was evicted; it should survive until displaced")
+	}
+}
+
+func TestCacheUnboundedBudget(t *testing.T) {
+	c := NewCache(-1)
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Do(k, func() (any, int) { return k, 1 << 20 })
+	}
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 100 {
+		t.Errorf("unbounded cache evicted: %+v", st)
+	}
+}
+
+func TestCacheRace(t *testing.T) {
+	c := NewCache(5000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%50)
+				v, _ := c.Do(k, func() (any, int) { return k, 200 })
+				if v.(string) != k {
+					t.Errorf("key %s returned %v", k, v)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 5000 {
+		t.Errorf("bytes %d over budget after racing inserts", st.Bytes)
+	}
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/exp"
+	"ebcp/internal/workload"
+)
+
+// RequestSchemaV1 identifies version 1 of the experiment-request body
+// POSTed to /v1/run. Like every schema in this repo it is decoded
+// strictly: unknown fields are rejected so drift fails loudly.
+const RequestSchemaV1 = "ebcp.runreq/v1"
+
+// Request priorities. Interactive requests are dequeued before batch
+// requests; within a class the queue is FIFO.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBatch       = "batch"
+)
+
+// RunRequestV1 is the body of POST /v1/run: which experiment to run and
+// the semantic options of the session that runs it. The zero value of
+// every optional field means "the default" — and, because cache keys
+// digest *resolved* values, a request spelling out a default hits the
+// same cells as one omitting it.
+type RunRequestV1 struct {
+	Schema     string `json:"schema"`
+	Experiment string `json:"experiment"`
+	// WarmInsts/MeasureInsts override the paper's 150M/100M windows
+	// (0 keeps them). MaxInsts truncates every cell's trace (0 = no
+	// limit).
+	WarmInsts    uint64 `json:"warm_insts,omitempty"`
+	MeasureInsts uint64 `json:"measure_insts,omitempty"`
+	MaxInsts     uint64 `json:"max_insts,omitempty"`
+	// BenchScale shrinks the workload working sets by this factor in
+	// (0, 1] via workload.Scaled — the fast preview knob. 0 means full
+	// size.
+	BenchScale float64 `json:"bench_scale,omitempty"`
+	// LoadCorrtab warm-starts EBCP cells from a serialized
+	// ebcp.corrtab/v1 table. It names a file *inside the server's
+	// configured corrtab directory* (Config.CorrtabDir); requests cannot
+	// reach outside it, and the feature is disabled (rejected) when no
+	// directory is configured.
+	LoadCorrtab string `json:"load_corrtab,omitempty"`
+	// Priority is "interactive" (default) or "batch".
+	Priority string `json:"priority,omitempty"`
+	// TimeoutMS bounds the request's wall-clock time; cells not
+	// simulated when it expires render as n/a and the request fails
+	// with a 499-class error. 0 means the server's default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DecodeRunRequest parses a request body, rejecting unknown fields and
+// any schema other than RequestSchemaV1.
+func DecodeRunRequest(r io.Reader) (RunRequestV1, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var rq RunRequestV1
+	if err := dec.Decode(&rq); err != nil {
+		return RunRequestV1{}, ebcperr.Invalidf("serve: decoding request: %v", err)
+	}
+	if rq.Schema != RequestSchemaV1 {
+		return RunRequestV1{}, ebcperr.Invalidf("serve: unsupported request schema %q (want %q)", rq.Schema, RequestSchemaV1)
+	}
+	return rq, nil
+}
+
+// validate checks the fields that do not need server configuration.
+func (rq RunRequestV1) validate() error {
+	if rq.Experiment == "" {
+		return ebcperr.Invalidf("serve: request names no experiment")
+	}
+	if _, err := exp.ByID(rq.Experiment); err != nil {
+		return err
+	}
+	if rq.BenchScale < 0 || rq.BenchScale > 1 {
+		return ebcperr.Invalidf("serve: bench_scale %g must be in (0, 1] (or 0 for full size)", rq.BenchScale)
+	}
+	if rq.TimeoutMS < 0 {
+		return ebcperr.Invalidf("serve: timeout_ms %d must be non-negative", rq.TimeoutMS)
+	}
+	switch rq.Priority {
+	case "", PriorityInteractive, PriorityBatch:
+	default:
+		return ebcperr.Invalidf("serve: unknown priority %q (want %q or %q)", rq.Priority, PriorityInteractive, PriorityBatch)
+	}
+	return nil
+}
+
+// corrtabPath resolves the request's warm-start table name inside the
+// server's corrtab directory, refusing escapes: the request controls a
+// file *name*, never a path.
+func (rq RunRequestV1) corrtabPath(dir string) (string, error) {
+	if rq.LoadCorrtab == "" {
+		return "", nil
+	}
+	if dir == "" {
+		return "", ebcperr.Invalidf("serve: load_corrtab is disabled (the server has no -corrtab-dir)")
+	}
+	clean := filepath.Clean(rq.LoadCorrtab)
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", ebcperr.Invalidf("serve: load_corrtab %q escapes the corrtab directory", rq.LoadCorrtab)
+	}
+	return filepath.Join(dir, clean), nil
+}
+
+// options maps a validated request onto the exp.Options its session
+// runs with. simWorkers is the server's per-request simulation
+// parallelism; the shared cache is attached by the worker.
+func (rq RunRequestV1) options(cfg Config) (exp.Options, error) {
+	opts := exp.Options{
+		Warm:     rq.WarmInsts,
+		Measure:  rq.MeasureInsts,
+		MaxInsts: rq.MaxInsts,
+		Workers:  cfg.SimWorkers,
+	}
+	if rq.BenchScale > 0 && rq.BenchScale < 1 {
+		var scaled []workload.Params
+		for _, b := range workload.All() {
+			s, err := workload.Scaled(b, rq.BenchScale)
+			if err != nil {
+				return exp.Options{}, err
+			}
+			scaled = append(scaled, s)
+		}
+		opts.Benchmarks = scaled
+	}
+	path, err := rq.corrtabPath(cfg.CorrtabDir)
+	if err != nil {
+		return exp.Options{}, err
+	}
+	opts.LoadCorrtab = path
+	return opts, nil
+}
+
+// priority returns the request's effective priority class.
+func (rq RunRequestV1) priority() string {
+	if rq.Priority == "" {
+		return PriorityInteractive
+	}
+	return rq.Priority
+}

@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ebcp/internal/metrics"
+)
+
+// smallBody returns a fast ebcp.runreq/v1 request: tiny windows over
+// 5%-scale workloads, a few milliseconds per cell.
+func smallBody(extra string) string {
+	return fmt.Sprintf(`{"schema":"ebcp.runreq/v1","experiment":"table1","warm_insts":200000,"measure_insts":100000,"bench_scale":0.05%s}`, extra)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return resp, buf.String()
+}
+
+// TestRunEndpointServesReportAndCaches is the package-level version of
+// the CI smoke contract: a POST answers a strictly-decodable
+// ebcp.report/v1 grid, and an identical second POST is served from the
+// shared cache without simulating anything.
+func TestRunEndpointServesReportAndCaches(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := post(t, ts.URL, smallBody(""))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	rep, err := metrics.DecodeReportV1(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("response is not a strict ebcp.report/v1: %v", err)
+	}
+	if rep.Tool != "ebcpd" || len(rep.Grids) != 1 || rep.Grids[0].ID != "table1" {
+		t.Fatalf("unexpected report shape: tool=%q grids=%d", rep.Tool, len(rep.Grids))
+	}
+	if rep.Grids[0].NACells != 0 {
+		t.Fatalf("grid has %d n/a cells, want 0", rep.Grids[0].NACells)
+	}
+
+	st := s.Stats()
+	if st.SimRuns == 0 {
+		t.Fatal("first request simulated nothing")
+	}
+	firstRuns := st.SimRuns
+	if st.Cache.Misses != firstRuns {
+		t.Errorf("cache misses = %d, want %d (one per simulated cell)", st.Cache.Misses, firstRuns)
+	}
+
+	resp2, body2 := post(t, ts.URL, smallBody(""))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second status = %d", resp2.StatusCode)
+	}
+	if body2 != body {
+		t.Error("identical requests returned different reports")
+	}
+	st = s.Stats()
+	if st.SimRuns != firstRuns {
+		t.Errorf("second identical request simulated: runs %d → %d", firstRuns, st.SimRuns)
+	}
+	if st.Cache.Hits == 0 || st.SimShared == 0 {
+		t.Errorf("second request did not hit the shared cache: %+v", st.Cache)
+	}
+
+	// A semantically different request misses again.
+	post(t, ts.URL, smallBody(`,"max_insts":90000000`))
+	if st2 := s.Stats(); st2.Cache.Misses == st.Cache.Misses {
+		t.Error("changed options did not change the cache keys")
+	}
+}
+
+// TestConcurrentIdenticalPostsSimulateOnce: N clients POSTing the same
+// request concurrently trigger exactly one simulation per cell —
+// in-flight coalescing, not just after-the-fact caching.
+func TestConcurrentIdenticalPostsSimulateOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const clients = 4
+
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, ts.URL, smallBody(""))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status = %d, body %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	cells := st.Cache.Misses
+	if st.SimRuns != cells {
+		t.Errorf("sim runs = %d, want %d (each cell computed once)", st.SimRuns, cells)
+	}
+	if lookups := st.Cache.Hits + st.Cache.Joins + st.Cache.Misses; lookups != cells*clients {
+		t.Errorf("lookups = %d, want %d", lookups, cells*clients)
+	}
+	if st.Completed != clients {
+		t.Errorf("completed = %d, want %d", st.Completed, clients)
+	}
+}
+
+// TestRequestValidation maps malformed requests to their status codes
+// through the one shared table.
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name, body string
+		want       int
+		mention    string
+	}{
+		{"bad schema", `{"schema":"nope/v9","experiment":"table1"}`, 400, "unsupported request schema"},
+		{"unknown field", `{"schema":"ebcp.runreq/v1","experiment":"table1","zap":1}`, 400, "unknown field"},
+		{"no experiment", `{"schema":"ebcp.runreq/v1"}`, 400, "names no experiment"},
+		{"unknown experiment", `{"schema":"ebcp.runreq/v1","experiment":"fig99"}`, 400, "unknown experiment"},
+		{"bad scale", `{"schema":"ebcp.runreq/v1","experiment":"table1","bench_scale":2}`, 400, "bench_scale"},
+		{"bad priority", `{"schema":"ebcp.runreq/v1","experiment":"table1","priority":"urgent"}`, 400, "unknown priority"},
+		{"negative timeout", `{"schema":"ebcp.runreq/v1","experiment":"table1","timeout_ms":-5}`, 400, "timeout_ms"},
+		{"corrtab disabled", smallBody(`,"load_corrtab":"t.corrtab"`), 400, "load_corrtab is disabled"},
+		{"not json", `go away`, 400, "decoding request"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL, c.body)
+			if resp.StatusCode != c.want {
+				t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, c.want, body)
+			}
+			if !strings.Contains(body, c.mention) {
+				t.Errorf("body %q does not mention %q", body, c.mention)
+			}
+		})
+	}
+}
+
+// TestCorrtabEscapeRejected: load_corrtab is a name inside the
+// configured directory, never a path out of it.
+func TestCorrtabEscapeRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, CorrtabDir: t.TempDir()})
+	for _, name := range []string{"../secret", "/etc/passwd", "a/../../x"} {
+		resp, body := post(t, ts.URL, smallBody(`,"load_corrtab":"`+name+`"`))
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "escapes") {
+			t.Errorf("load_corrtab %q: status %d body %q, want 400 escape rejection", name, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestShortTraceMapsTo422: a trace limit below the warmup window makes
+// every cell fail with ErrShortTrace; the response must carry the
+// mapped 422, not a generic 500.
+func TestShortTraceMapsTo422(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts.URL, smallBody(`,"max_insts":1000`))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status = %d, want 422 (body %s)", resp.StatusCode, body)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/run = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestBackpressure429: with one worker busy and the queue full, the
+// next request is rejected with 429 and a Retry-After header instead of
+// queuing without bound.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+
+	// Two slow, distinct requests: one executing, one queued. Their
+	// clients are cancelled at the end so the teardown drain is quick.
+	slow := func(n int) string {
+		return fmt.Sprintf(`{"schema":"ebcp.runreq/v1","experiment":"table1","warm_insts":%d,"measure_insts":5000000,"bench_scale":0.05}`, 20_000_000+n)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	launch := func(body string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	launch(slow(1))
+	waitFor(t, func() bool { return s.Stats().Inflight == 1 })
+	launch(slow(2))
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+
+	resp, body := post(t, ts.URL, slow(3))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Rejected)
+	}
+
+	cancel()
+	wg.Wait()
+}
+
+// TestDeadline499: a request whose deadline expires answers with the
+// 499-style client-cancellation status.
+func TestDeadline499(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"schema":"ebcp.runreq/v1","experiment":"table1","warm_insts":30000000,"measure_insts":5000000,"bench_scale":0.05,"timeout_ms":30}`
+	resp, out := post(t, ts.URL, body)
+	if resp.StatusCode != StatusClientClosedRequest {
+		t.Fatalf("status = %d, want %d (body %s)", resp.StatusCode, StatusClientClosedRequest, out)
+	}
+}
+
+// TestDrainRejectsAndHealthzReports: after Drain begins, POSTs get 503
+// and /healthz reports draining with 503.
+func TestDrainRejectsAndHealthzReports(t *testing.T) {
+	s, err := New(Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain = %d, want 200", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	resp, body := post(t, ts.URL, smallBody(""))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST while draining = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthzV1
+	json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "draining" {
+		t.Errorf("healthz while draining = %d %q, want 503 draining", resp.StatusCode, h.Status)
+	}
+}
+
+// TestPriorityOrdering drives the queues directly: with batch and
+// interactive jobs waiting, dequeue hands out every interactive job
+// first.
+func TestPriorityOrdering(t *testing.T) {
+	s := &Server{
+		cfg:    Config{QueueDepth: 8}.withDefaults(),
+		cache:  NewCache(1 << 20),
+		queues: map[string][]*job{PriorityInteractive: nil, PriorityBatch: nil},
+	}
+	s.cond = sync.NewCond(&s.mu)
+
+	mk := func(id int) *job {
+		return &job{rq: RunRequestV1{MaxInsts: uint64(id)}, ctx: context.Background(), enqueued: now(), done: make(chan struct{})}
+	}
+	if err := s.enqueue(mk(1), PriorityBatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(mk(2), PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(mk(3), PriorityBatch); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.enqueue(mk(4), PriorityInteractive); err != nil {
+		t.Fatal(err)
+	}
+	var order []uint64
+	for i := 0; i < 4; i++ {
+		j, ok := s.dequeue()
+		if !ok {
+			t.Fatal("dequeue stopped early")
+		}
+		order = append(order, j.rq.MaxInsts)
+	}
+	want := []uint64{2, 4, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestMetricsEndpointShape: /metrics is a decodable ebcp.servestats/v1
+// document with the histograms present.
+func TestMetricsEndpointShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	post(t, ts.URL, smallBody(""))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	var st StatsV1
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("metrics body does not round-trip strictly: %v", err)
+	}
+	if st.Schema != StatsSchemaV1 {
+		t.Errorf("schema = %q, want %q", st.Schema, StatsSchemaV1)
+	}
+	if st.Completed != 1 || st.RequestUS.Count != 1 {
+		t.Errorf("completed=%d request histogram count=%d, want 1/1", st.Completed, st.RequestUS.Count)
+	}
+	if st.QueueWaitUS.Count == 0 {
+		t.Error("queue wait histogram empty after a served request")
+	}
+	if st.Cache.ComputeUS.Count != st.Cache.Misses {
+		t.Errorf("compute histogram count %d != misses %d", st.Cache.ComputeUS.Count, st.Cache.Misses)
+	}
+}
+
+// waitFor polls cond for up to 30s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 30s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
