@@ -3,7 +3,7 @@
 # scheduler (internal/exp/sched.go) — run it before touching anything
 # under internal/exp.
 
-.PHONY: tier1 vet lint cover race race-short fuzz bench-parallel bench-json smoke
+.PHONY: tier1 vet lint cover race race-short fuzz bench-parallel bench-json smoke spec-smoke
 
 # Build + full test suite (the tier-1 contract from ROADMAP.md).
 tier1:
@@ -14,7 +14,8 @@ vet:
 
 # Static analysis: go vet plus the repo's own analyzer suite
 # (internal/analysis, DESIGN.md §8 "Enforced invariants") — nopanic,
-# hotpathalloc, errwrap and determinism, with positioned
+# hotpathalloc, errwrap, determinism, servectx and specsync (registry
+# names vs committed spec files), with positioned
 # file:line:col: [check] diagnostics. This supersedes the old
 # grep-based lint-nopanic target.
 lint: vet
@@ -74,8 +75,15 @@ bench-json:
 		-benchmem -benchtime 5x -count 1 ./internal/serve ) \
 		| go run ./cmd/benchjson -host-note "$(BENCH_HOST_NOTE)" -o BENCH_throughput.json
 
-# Daemon smoke: boot ebcpd, POST an experiment, assert a valid report,
-# a cache hit on the identical repeat, and a clean SIGTERM drain — the
-# same contract CI's "daemon smoke" step runs.
+# Daemon smoke: boot ebcpd, POST an experiment and an inline
+# ebcp.spec/v1, assert valid reports, a cache hit on the identical
+# repeat, and a clean SIGTERM drain — the same contract CI's "daemon
+# smoke" step runs.
 smoke:
 	go test ./cmd/ebcpd -run TestDaemonSmoke -count 1 -v
+
+# Spec smoke: run a committed canonical spec file end-to-end through
+# `ebcpexp -spec` (strict decode → registry resolution → grid render)
+# — the same contract CI's "spec smoke" step runs.
+spec-smoke:
+	go test ./cmd/ebcpexp -run TestSpecFileRun -count 1 -v

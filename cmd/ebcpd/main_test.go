@@ -147,6 +147,36 @@ func TestDaemonSmoke(t *testing.T) {
 		t.Errorf("completed=%d failed=%d, want 2/0", st.Completed, st.Failed)
 	}
 
+	// An inline ebcp.spec/v1 request runs through the same path: the
+	// daemon compiles the spec against the registry and serves a strict
+	// report for it.
+	specReq := `{"schema":"ebcp.runreq/v1","warm_insts":300000,"measure_insts":200000,"bench_scale":0.05,"spec":{
+	  "schema":"ebcp.spec/v1","id":"mini","title":"Inline smoke","kind":"sim",
+	  "benchmarks":["SPECjbb2005"],
+	  "report":{"title":"Improvement"},
+	  "columns":{"benchmarks":true},
+	  "cells":{
+	    "base":{"key":"base/{bench}","prefetcher":{"name":"none"}},
+	    "x":{"key":"mini/{bench}/x","prefetcher":{"name":"ebcp"},"baseline":"base"}},
+	  "rows":[{"rows":[{"label":"EBCP","metric":"improvement_pct","cells":["x"]}]}]}}`
+	respSpec, err := http.Post(d.url+"/v1/run", "application/json", strings.NewReader(specReq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specOut bytes.Buffer
+	specOut.ReadFrom(respSpec.Body)
+	respSpec.Body.Close()
+	if respSpec.StatusCode != http.StatusOK {
+		t.Fatalf("inline-spec POST = %d, body %s", respSpec.StatusCode, specOut.String())
+	}
+	specRep, err := metrics.DecodeReportV1(strings.NewReader(specOut.String()))
+	if err != nil {
+		t.Fatalf("inline-spec response is not a strict ebcp.report/v1: %v", err)
+	}
+	if len(specRep.Grids) != 1 || specRep.Grids[0].ID != "mini" || specRep.Grids[0].NACells != 0 {
+		t.Fatalf("unexpected inline-spec report: grids=%d", len(specRep.Grids))
+	}
+
 	// Healthy before shutdown.
 	resp, err := http.Get(d.url + "/healthz")
 	if err != nil {

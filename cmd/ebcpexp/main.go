@@ -8,6 +8,7 @@
 //	ebcpexp -exp all -workers 8      # shard simulations over 8 goroutines
 //	ebcpexp -exp all -timeout 2m     # render whatever completed in time
 //	ebcpexp -exp table1 -json        # one ebcp.report/v1 JSON document
+//	ebcpexp -spec myexp.json         # run a user-authored ebcp.spec/v1 file
 //	ebcpexp -list
 //
 // Simulations shard across -workers goroutines (default: all CPU cores);
@@ -18,19 +19,23 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"ebcp/internal/ebcperr"
 	"ebcp/internal/exp"
 	"ebcp/internal/metrics"
+	"ebcp/internal/spec"
 )
 
 func main() {
 	var (
 		which      = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		specPath   = flag.String("spec", "", "run one user-authored ebcp.spec/v1 experiment file instead of -exp")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		scale      = flag.Float64("scale", 1.0, "scale the warm/measure windows (1.0 = paper's 150M+100M)")
 		maxInsts   = flag.Float64("max-insts", 0, "truncate every cell's trace after this many instructions (0 = unlimited)")
@@ -45,6 +50,11 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	// Which flags did the user set explicitly? An untouched -exp or
+	// -scale keeps its default and yields precedence (to -spec and to the
+	// spec's own windows, respectively).
+	setFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -59,7 +69,9 @@ func main() {
 		}
 		return
 	}
-	if *scale <= 0 || *scale > 1 {
+	// NaN slips through range checks (every comparison with it is false),
+	// so non-finite values need their own rejection.
+	if math.IsNaN(*scale) || *scale <= 0 || *scale > 1 {
 		fmt.Fprintf(os.Stderr, "ebcpexp: -scale must be in (0, 1] (got %g)\n", *scale)
 		os.Exit(1)
 	}
@@ -67,8 +79,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ebcpexp: -workers must be non-negative (got %d)\n", *workers)
 		os.Exit(1)
 	}
-	if *maxInsts < 0 {
-		fmt.Fprintf(os.Stderr, "ebcpexp: -max-insts must be non-negative (got %g)\n", *maxInsts)
+	limit, err := instCount("-max-insts", *maxInsts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
 		os.Exit(1)
 	}
 	if *jsonOut && *format != "text" {
@@ -86,7 +99,7 @@ func main() {
 	opts := exp.Options{
 		Warm:        uint64(150e6 * *scale),
 		Measure:     uint64(100e6 * *scale),
-		MaxInsts:    uint64(*maxInsts),
+		MaxInsts:    limit,
 		Workers:     *workers,
 		LoadCorrtab: *loadTable,
 	}
@@ -95,16 +108,48 @@ func main() {
 	}
 
 	var todo []exp.Experiment
-	if *which == "all" {
+	switch {
+	case *specPath != "":
+		if setFlags["exp"] {
+			fmt.Fprintln(os.Stderr, "ebcpexp: -spec and -exp are mutually exclusive")
+			os.Exit(1)
+		}
+		e, sp, err := loadSpec(*specPath, &opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
+			os.Exit(1)
+		}
+		// The spec's own windows apply only when the runner didn't pick
+		// windows itself; an explicit -scale always wins.
+		if !setFlags["scale"] {
+			if sp.WarmInsts > 0 {
+				opts.Warm = sp.WarmInsts
+			}
+			if sp.MeasureInsts > 0 {
+				opts.Measure = sp.MeasureInsts
+			}
+		}
+		todo = []exp.Experiment{e}
+	case *which == "all":
 		todo = exp.All()
-	} else {
-		for _, id := range strings.Split(*which, ",") {
-			e, err := exp.ByID(strings.TrimSpace(id))
+	default:
+		seen := map[string]bool{}
+		for _, seg := range strings.Split(*which, ",") {
+			id := strings.TrimSpace(seg)
+			if id == "" || seen[id] {
+				continue // tolerate stray commas and repeats: -exp "table1,,table1"
+			}
+			seen[id] = true
+			e, err := exp.ByID(id)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "ebcpexp: %v\n", err)
+				fmt.Fprintf(os.Stderr, "ebcpexp: -exp segment %q: %v\n", seg, err)
 				os.Exit(1)
 			}
 			todo = append(todo, e)
+		}
+		if len(todo) == 0 {
+			fmt.Fprintf(os.Stderr, "ebcpexp: -exp %q names no experiments\n", *which)
+			os.Exit(1)
 		}
 	}
 
@@ -161,6 +206,49 @@ func main() {
 		stopProfiles()
 		os.Exit(1)
 	}
+}
+
+// instCount converts an instruction-count flag to uint64. A plain
+// `v < 0` check is not enough for float flags: NaN compares false
+// against everything, and converting ±Inf or anything at or above 2^64
+// to uint64 is implementation-defined (Go spec, "Conversions"), so all
+// of those are rejected before the conversion happens.
+func instCount(name string, v float64) (uint64, error) {
+	switch {
+	case math.IsNaN(v) || math.IsInf(v, 0):
+		return 0, ebcperr.Invalidf("%s must be finite (got %g)", name, v)
+	case v < 0:
+		return 0, ebcperr.Invalidf("%s must be non-negative (got %g)", name, v)
+	case v >= 1<<64:
+		return 0, ebcperr.Invalidf("%s must be below 2^64 (got %g)", name, v)
+	}
+	return uint64(v), nil
+}
+
+// loadSpec reads and compiles one user-authored spec file, and records
+// its canonical encoding in the session options so the shared result
+// cache keys the spec's cells by content (a user-authored cell key
+// string is only unique within its spec, unlike the canonical ones).
+func loadSpec(path string, opts *exp.Options) (exp.Experiment, spec.SpecV1, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, err
+	}
+	defer f.Close()
+	sp, err := spec.Decode(f)
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, fmt.Errorf("-spec %s: %w", path, err)
+	}
+	e, err := exp.FromSpec(sp)
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, fmt.Errorf("-spec %s: %w", path, err)
+	}
+	canon, err := spec.Canonical(sp)
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, fmt.Errorf("-spec %s: %w", path, err)
+	}
+	opts.SpecJSON = string(canon)
+	return e, sp, nil
 }
 
 // startProfiles begins CPU profiling and arranges a heap snapshot for the

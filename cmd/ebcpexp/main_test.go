@@ -44,9 +44,17 @@ func TestBadFlagsExitOne(t *testing.T) {
 	}{
 		{"scale too large", []string{"-scale", "2"}, "-scale must be in (0, 1]"},
 		{"scale zero", []string{"-scale", "0"}, "-scale must be in (0, 1]"},
+		{"scale NaN", []string{"-scale", "NaN"}, "-scale must be in (0, 1]"},
 		{"workers negative", []string{"-workers", "-3"}, "-workers must be non-negative"},
 		{"max insts negative", []string{"-max-insts", "-1"}, "-max-insts must be non-negative"},
+		{"max insts NaN", []string{"-max-insts", "NaN"}, "-max-insts must be finite"},
+		{"max insts Inf", []string{"-max-insts", "+Inf"}, "-max-insts must be finite"},
+		{"max insts overflows uint64", []string{"-max-insts", "2e19"}, "-max-insts must be below 2^64"},
 		{"unknown experiment", []string{"-exp", "nope"}, "unknown experiment"},
+		{"unknown experiment names segment", []string{"-exp", "table1, nope"}, `segment " nope"`},
+		{"exp all commas", []string{"-exp", " , ,"}, "names no experiments"},
+		{"spec and exp together", []string{"-spec", "x.json", "-exp", "table1"}, "mutually exclusive"},
+		{"spec missing file", []string{"-spec", "does-not-exist.json"}, "does-not-exist.json"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -136,6 +144,62 @@ func TestJSONReport(t *testing.T) {
 	}
 	if len(g.Paper) == 0 {
 		t.Error("paper reference rows missing from grid")
+	}
+}
+
+// TestExpListTolerant pins the -exp parser's fixes: whitespace, stray
+// commas and repeated ids must not abort or duplicate work — the repeat
+// runs (and renders) once.
+func TestExpListTolerant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	out, code := runCLI(t,
+		"-exp", " table1, ,table1,", "-scale", "0.002", "-json", "-o", path)
+	if code != 0 {
+		t.Fatalf("exit code = %d; output:\n%s", code, out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := metrics.DecodeReportV1(f)
+	if err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if len(rep.Grids) != 1 || rep.Grids[0].ID != "table1" {
+		t.Errorf("deduped -exp list produced %d grids, want exactly one table1", len(rep.Grids))
+	}
+}
+
+// TestSpecFileRun runs a committed canonical spec through the -spec
+// path end to end: the same bytes a user would author must decode,
+// compile against the registry, simulate, and render a clean strict-v1
+// report. This is also the CI spec smoke test.
+func TestSpecFileRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	out, code := runCLI(t,
+		"-spec", filepath.Join("..", "..", "internal", "exp", "specs", "table1.json"),
+		"-scale", "0.002", "-json", "-o", path)
+	if code != 0 {
+		t.Fatalf("-spec run exit code = %d; output:\n%s", code, out)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := metrics.DecodeReportV1(f)
+	if err != nil {
+		t.Fatalf("decoding -spec report: %v", err)
+	}
+	if len(rep.Grids) != 1 || rep.Grids[0].ID != "table1" {
+		t.Fatalf("-spec run produced %d grids (want one table1 grid)", len(rep.Grids))
+	}
+	if rep.Grids[0].NACells != 0 {
+		t.Errorf("clean -spec run produced %d n/a cells", rep.Grids[0].NACells)
+	}
+	if len(rep.Grids[0].Paper) == 0 {
+		t.Error("spec's reference rows missing from grid")
 	}
 }
 

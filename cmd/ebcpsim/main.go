@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -32,6 +33,15 @@ func die(format string, args ...any) {
 	os.Exit(1)
 }
 
+// countable reports whether a float flag value survives conversion to a
+// uint64 instruction count. A plain `v < 0` check is not enough: NaN
+// compares false against everything, and converting ±Inf or anything at
+// or above 2^64 to uint64 is implementation-defined (Go spec,
+// "Conversions").
+func countable(v float64) bool {
+	return !math.IsNaN(v) && v < 1<<64
+}
+
 // validateFlags rejects flag values the simulator's constructors would
 // refuse, so the process fails here with one diagnostic instead of three
 // packages deep.
@@ -43,12 +53,12 @@ func validateFlags(degree, tableEntries, pbEntries int, warm, measure, maxInsts,
 		return ebcperr.Invalidf("-table-entries must be positive (got %d)", tableEntries)
 	case pbEntries <= 0:
 		return ebcperr.Invalidf("-pb must be positive (got %d)", pbEntries)
-	case warm < 0:
-		return ebcperr.Invalidf("-warm must be non-negative (got %g)", warm)
-	case measure <= 0:
-		return ebcperr.Invalidf("-measure must be positive (got %g)", measure)
-	case maxInsts < 0:
-		return ebcperr.Invalidf("-max-insts must be non-negative (got %g)", maxInsts)
+	case warm < 0 || !countable(warm):
+		return ebcperr.Invalidf("-warm must be non-negative and below 2^64 (got %g)", warm)
+	case measure <= 0 || !countable(measure):
+		return ebcperr.Invalidf("-measure must be positive and below 2^64 (got %g)", measure)
+	case maxInsts < 0 || !countable(maxInsts):
+		return ebcperr.Invalidf("-max-insts must be non-negative and below 2^64 (got %g)", maxInsts)
 	case readGBps <= 0:
 		return ebcperr.Invalidf("-read-gbps must be positive (got %g)", readGBps)
 	case writeGBps <= 0:

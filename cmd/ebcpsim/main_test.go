@@ -45,7 +45,11 @@ func TestBadFlagsExitOne(t *testing.T) {
 		{"pb zero", []string{"-pb", "0"}, "-pb must be positive"},
 		{"degree negative", []string{"-degree", "-1"}, "-degree must be positive"},
 		{"warm negative", []string{"-warm", "-5"}, "-warm must be non-negative"},
+		{"warm NaN", []string{"-warm", "NaN"}, "-warm must be non-negative"},
 		{"measure zero", []string{"-measure", "0"}, "-measure must be positive"},
+		{"measure Inf", []string{"-measure", "+Inf"}, "-measure must be positive"},
+		{"max insts NaN", []string{"-max-insts", "NaN"}, "-max-insts must be non-negative"},
+		{"max insts overflows uint64", []string{"-max-insts", "2e19"}, "-max-insts must be non-negative and below 2^64"},
 		{"table entries zero", []string{"-table-entries", "0"}, "-table-entries must be positive"},
 		{"bandwidth zero", []string{"-read-gbps", "0"}, "-read-gbps must be positive"},
 		{"unknown workload", []string{"-workload", "nope"}, "nope"},

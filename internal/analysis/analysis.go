@@ -60,7 +60,7 @@ type Analyzer interface {
 
 // All returns every analyzer in the suite.
 func All() []Analyzer {
-	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}, ServeCtx{}}
+	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}, ServeCtx{}, SpecSync{}}
 }
 
 // Run executes the analyzers over the packages, drops diagnostics

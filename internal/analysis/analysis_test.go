@@ -39,6 +39,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 		{"corrtabcodec", "internal/corrtab"},
 		{"driver", "internal/driver"},
 		{"servectx", "internal/fakeserve"},
+		{"specsync", "internal/registry"},
 	}
 	for _, fx := range fixtures {
 		t.Run(fx.dir, func(t *testing.T) {

@@ -1,0 +1,30 @@
+// Package registry is the specsync fixture: a miniature builtin table
+// pair plus, under internal/exp/specs, a set of spec files exercising
+// every drift the analyzer reports. The test loads it under the virtual
+// rel "internal/registry" with this directory playing the module root.
+package registry // want "spec mismatch.json declares id" // want "spec notjson.json is not parseable JSON"
+
+type entry struct {
+	Name string
+	Doc  string
+}
+
+// Two spec-side findings anchor on the function whose namespace they
+// miss in: bad-name.json references a prefetcher nobody registered.
+func builtinPrefetchers() map[string]entry { // want `references unregistered prefetcher "markov"`
+	return map[string]entry{
+		"none":  {Name: "none", Doc: "baseline"},
+		"ebcp":  {Name: "ebcp", Doc: "the epoch-based prefetcher"},
+		"ghost": {Name: "ghost", Doc: "registered but never exercised"}, // want "not exercised by any canonical spec"
+		"tcp":   {Name: "tcp-large", Doc: "key and Name disagree"},      // want `registered under "tcp" declares Name "tcp-large"`
+	}
+}
+
+// ...and bad-name.json also names a workload nobody registered. The
+// "tcp" entry above is referenced by good.json, so only the key/Name
+// mismatch fires for it, not the unreferenced-entry check.
+func builtinWorkloads() map[string]entry { // want `names unregistered workload "SPECweb99"`
+	return map[string]entry{
+		"Database": {Name: "Database", Doc: "OLTP miss stream"},
+	}
+}

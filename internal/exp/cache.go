@@ -80,9 +80,11 @@ func sealCellKey(seed, kind, cell string, bench workload.Params) string {
 
 // cacheSeed builds the session-level part of every cell key: the code
 // version, the resolved windows (so a zero field and an explicit
-// default digest identically), the trace limit, and the warm-start
-// table identified by content hash (so the same table at two paths
-// shares cells and an edited table does not).
+// default digest identically), the trace limit, the warm-start table
+// identified by content hash (so the same table at two paths shares
+// cells and an edited table does not), and the content hash of the
+// user-authored spec, if any (so two specs reusing one cell key string
+// for different contents stay apart).
 func (o Options) cacheSeed() (string, error) {
 	warm, measure := o.windows()
 	corr := ""
@@ -94,8 +96,13 @@ func (o Options) cacheSeed() (string, error) {
 		sum := sha256.Sum256(data)
 		corr = hex.EncodeToString(sum[:])
 	}
-	return fmt.Sprintf("%s|warm=%d|measure=%d|max=%d|corrtab=%s",
-		CacheCodeVersion, warm, measure, o.MaxInsts, corr), nil
+	specSum := ""
+	if o.SpecJSON != "" {
+		sum := sha256.Sum256([]byte(o.SpecJSON))
+		specSum = hex.EncodeToString(sum[:])
+	}
+	return fmt.Sprintf("%s|warm=%d|measure=%d|max=%d|corrtab=%s|spec=%s",
+		CacheCodeVersion, warm, measure, o.MaxInsts, corr, specSum), nil
 }
 
 // cellKey is CellKey with the expensive seed (it reads the warm-start

@@ -19,7 +19,7 @@ import (
 // Options field fails TestCacheKeyFieldClassification until it is
 // classified here AND exercised in the matching behavioural test.
 var (
-	seedFields    = map[string]bool{"Warm": true, "Measure": true, "MaxInsts": true, "LoadCorrtab": true}
+	seedFields    = map[string]bool{"Warm": true, "Measure": true, "MaxInsts": true, "LoadCorrtab": true, "SpecJSON": true}
 	perCellFields = map[string]bool{"Benchmarks": true}
 	ignoredFields = map[string]bool{"Workers": true, "Progress": true, "Cache": true}
 )
@@ -73,6 +73,7 @@ func TestCacheKeySemanticFieldsChangeKey(t *testing.T) {
 		"Measure":     {Warm: 1e6, Measure: 2e6},
 		"MaxInsts":    {Warm: 1e6, Measure: 1e6, MaxInsts: 5e5},
 		"LoadCorrtab": {Warm: 1e6, Measure: 1e6, LoadCorrtab: writeCorrtabStub(t, dir, "t.corrtab", "table-bytes")},
+		"SpecJSON":    {Warm: 1e6, Measure: 1e6, SpecJSON: `{"schema": "ebcp.spec/v1", "id": "x"}`},
 	}
 	for name := range seedFields {
 		if _, ok := mutations[name]; !ok {

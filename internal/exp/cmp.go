@@ -1,9 +1,6 @@
 package exp
 
 import (
-	"fmt"
-
-	"ebcp/internal/core"
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/prefetch"
 	"ebcp/internal/sim"
@@ -11,74 +8,13 @@ import (
 	"ebcp/internal/workload"
 )
 
-// CMP is this reproduction's extension experiment: the paper's Section 6
-// future work (EBCP on a chip multiprocessor) plus a quantitative test of
-// its Section 3.3.1 placement argument. N threads of each workload share
-// the L2 and the interconnect. EBCP keeps per-thread EMABs at the
-// core-to-L2 crossbar and shares one main-memory table; Solihin's
-// memory-side engine trains on the interleaved miss stream. Reported is
-// the aggregate-IPC speedup over the no-prefetching machine with the same
-// core count.
-func CMP() Experiment {
-	coreCounts := []int{1, 2, 4}
-	cells := func(b workload.Params, n int) (base, ebcp, sol cmpReq) {
-		base = cmpReq{
-			key: fmt.Sprintf("cmpbase/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(int) (prefetch.Prefetcher, error) { return prefetch.None{}, nil },
-		}
-		ebcp = cmpReq{
-			key: fmt.Sprintf("cmpebcp/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(cores int) (prefetch.Prefetcher, error) {
-				cfg := core.DefaultConfig()
-				cfg.Cores = cores
-				return core.New(cfg)
-			},
-		}
-		sol = cmpReq{
-			key: fmt.Sprintf("cmpsol/%s/%d", b.Name, n), bench: b, cores: n,
-			pf: func(int) (prefetch.Prefetcher, error) { return prefetch.NewSolihin(6, 1, 1<<20) },
-		}
-		return
-	}
-	return Experiment{
-		ID:    "cmp",
-		Title: "CMP extension: per-thread EBCP vs memory-side Solihin as cores scale (Section 3.3.1 / Section 6)",
-		Run: func(s *Session) *Report {
-			rep := &Report{
-				ID:      "cmp",
-				Title:   "Aggregate-IPC speedup over the same-core-count baseline",
-				Unit:    "% speedup",
-				Columns: []string{"1 core", "2 cores", "4 cores"},
-				Notes: []string{
-					"the paper argues (3.3.1) that interleaved request streams 'do not exhibit sufficient correlation' for memory-side prefetching; EBCP's crossbar placement sees each thread separately",
-					"threads run independent instances of the workload (different seeds) sharing L2, interconnect and prefetcher",
-				},
-			}
-			var reqs []cmpReq
-			for _, b := range s.benchmarks() {
-				for _, n := range coreCounts {
-					base, ebcp, sol := cells(b, n)
-					reqs = append(reqs, base, ebcp, sol)
-				}
-			}
-			s.ensureCMP(reqs)
-			for _, b := range s.benchmarks() {
-				ebcpRow := Row{Label: b.Name + ": EBCP"}
-				solRow := Row{Label: b.Name + ": Solihin 6,1"}
-				for _, n := range coreCounts {
-					baseReq, ebcpReq, solReq := cells(b, n)
-					base, berr := s.execCMP(baseReq)
-					eb, eerr := s.execCMP(ebcpReq)
-					so, serr := s.execCMP(solReq)
-					ebcpRow.Values = append(ebcpRow.Values, cellValue(100*(eb.Speedup(base)-1), berr, eerr))
-					solRow.Values = append(solRow.Values, cellValue(100*(so.Speedup(base)-1), berr, serr))
-				}
-				rep.Rows = append(rep.Rows, ebcpRow, solRow)
-			}
-			return rep
-		},
-	}
-}
+// The cmp experiment kind is this reproduction's extension: the paper's
+// Section 6 future work (EBCP on a chip multiprocessor) plus a
+// quantitative test of its Section 3.3.1 placement argument. N threads
+// of each workload share the L2 and the interconnect. EBCP keeps
+// per-thread EMABs at the core-to-L2 crossbar and shares one
+// main-memory table; Solihin's memory-side engine trains on the
+// interleaved miss stream. The canonical grid lives in specs/cmp.json.
 
 // cmpReq names one CMP simulation cell (they do not fit the single-core
 // memo: the result type differs and the prefetcher builder needs the

@@ -70,6 +70,15 @@ type Options struct {
 	// Cache never changes what a session computes, only whether it has
 	// to; it is ignored by the cache key itself.
 	Cache Cache
+	// SpecJSON, when non-empty, is the canonical encoding
+	// (spec.Canonical) of the user-authored spec this session runs. It
+	// is digested into every cell key: the canonical experiments' cell
+	// identity strings uniquely describe their cells by contract, but a
+	// user-authored spec may bind an arbitrary cell key string to
+	// different contents, so the spec text itself must separate the
+	// entries. Runners of committed canonical experiments leave it
+	// empty — their cells stay shared across invocation paths.
+	SpecJSON string
 }
 
 // RunUpdate describes one completed simulation.
@@ -122,19 +131,12 @@ type Experiment struct {
 	Run func(s *Session) *Report
 }
 
-// All returns every experiment in paper order.
+// All returns every experiment in paper order. The canonical
+// experiments are committed ebcp.spec/v1 documents under specs/,
+// compiled through the contender registry (spec.go).
 func All() []Experiment {
-	return []Experiment{
-		Table1(),
-		Fig4(),
-		Fig5(),
-		Fig6(),
-		Fig7(),
-		Fig8(),
-		Fig9(),
-		CMP(),
-		Ablations(),
-	}
+	exps, _ := canonical()
+	return append([]Experiment(nil), exps...)
 }
 
 // ByID resolves an experiment.
@@ -423,13 +425,4 @@ func (s *Session) benchmarks() []workload.Params {
 		return s.opts.Benchmarks
 	}
 	return workload.All()
-}
-
-// benchColumns returns the benchmark names in paper order.
-func (s *Session) benchColumns() []string {
-	var cols []string
-	for _, b := range s.benchmarks() {
-		cols = append(cols, b.Name)
-	}
-	return cols
 }

@@ -1,0 +1,82 @@
+package exp
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ebcp/internal/metrics"
+	"ebcp/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the canonical experiment goldens")
+
+// goldenSession builds the fixed session every canonical-golden run
+// uses: 5%-size workloads, small windows, so the whole nine-experiment
+// grid costs a few seconds. Reports are worker-count-invariant
+// (parallel_test.go), so the default pool is fine.
+func goldenSession(t *testing.T) *Session {
+	t.Helper()
+	var benches []workload.Params
+	for _, b := range workload.All() {
+		sc, err := workload.Scaled(b, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, sc)
+	}
+	return NewSession(Options{Warm: 300_000, Measure: 200_000, Benchmarks: benches})
+}
+
+// TestCanonicalGoldens locks the byte-exact rendered output of every
+// canonical experiment: one ebcp.report/v1 document holding all nine
+// grids, plus a listing of IDs, titles and the total simulation count.
+// This is the spec↔constructor equivalence proof: the goldens were
+// generated from the original hardcoded Go constructors, and the
+// spec-driven registry path must keep reproducing them byte for byte
+// (DESIGN.md §11). Regenerate with -update only for a deliberate,
+// explained change to what an experiment reports.
+func TestCanonicalGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full nine-experiment grid; skipped under -short")
+	}
+	s := goldenSession(t)
+	var listing bytes.Buffer
+	doc := metrics.ReportV1{Schema: metrics.SchemaV1, Tool: "ebcpexp"}
+	for _, e := range All() {
+		fmt.Fprintf(&listing, "%-10s %s\n", e.ID, e.Title)
+		rep := e.Run(s)
+		if rep.NACells() > 0 {
+			t.Errorf("%s: %d cells rendered n/a (first error: %v)", e.ID, rep.NACells(), s.FirstError())
+		}
+		doc.Grids = append(doc.Grids, rep.GridV1())
+	}
+	fmt.Fprintf(&listing, "runs: %d\n", s.Runs())
+
+	var report bytes.Buffer
+	if err := metrics.WriteJSON(&report, doc); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, filepath.Join("testdata", "canonical_report.json"), report.Bytes())
+	checkGolden(t, filepath.Join("testdata", "canonical_listing.txt"), listing.Bytes())
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: output differs from golden (regenerate with -update if the change is deliberate)", path)
+	}
+}

@@ -62,13 +62,14 @@ func TestConcurrentExperimentsSingleFlight(t *testing.T) {
 	opts := parallelWindows
 	opts.Workers = 4
 	s := NewSession(opts)
+	table1 := mustExp(t, "table1")
 	reps := make([]*Report, 2)
 	var wg sync.WaitGroup
 	for i := range reps {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			reps[i] = Table1().Run(s)
+			reps[i] = table1.Run(s)
 		}(i)
 	}
 	wg.Wait()
@@ -92,7 +93,7 @@ func TestCancelledSessionReturnsPromptly(t *testing.T) {
 	s := NewSessionContext(ctx, Options{Warm: 150e6, Measure: 100e6, Workers: 8})
 
 	start := time.Now()
-	rep := Table1().Run(s)
+	rep := mustExp(t, "table1").Run(s)
 	elapsed := time.Since(start)
 
 	if elapsed > 5*time.Second {
@@ -127,7 +128,7 @@ func TestCancellationMidSession(t *testing.T) {
 	opts.Workers = 4
 	s := NewSessionContext(ctx, opts)
 
-	if rep := Table1().Run(s); len(rep.Rows) == 0 {
+	if rep := mustExp(t, "table1").Run(s); len(rep.Rows) == 0 {
 		t.Fatal("pre-cancellation run failed")
 	}
 	ran := s.Runs()
@@ -135,7 +136,7 @@ func TestCancellationMidSession(t *testing.T) {
 		t.Fatal("expected simulations before cancellation")
 	}
 	cancel()
-	rep := Fig4().Run(s)
+	rep := mustExp(t, "fig4").Run(s)
 	if s.Runs() != ran {
 		t.Errorf("post-cancellation Runs() = %d, want %d (no new simulations)", s.Runs(), ran)
 	}

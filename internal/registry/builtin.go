@@ -1,0 +1,180 @@
+// The built-in registry entries: every contender the paper's Figure 9
+// comparison and the CMP extension use, and the four commercial
+// workloads. Map literals make duplicate names a compile error; the
+// specsync analyzer checks these names against the committed spec files
+// under internal/exp/specs.
+package registry
+
+import (
+	"encoding/json"
+
+	"ebcp/internal/core"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/workload"
+)
+
+// ebcpParams are the spec-settable knobs of the EBCP core. Every field
+// is a pointer so a spec can distinguish "absent — keep the tuned
+// default" from an explicit zero value (lru_writeback defaults to true,
+// so expressing false requires exactly this distinction).
+type ebcpParams struct {
+	TableEntries    *int    `json:"table_entries"`
+	TableMaxAddrs   *int    `json:"table_max_addrs"`
+	Degree          *int    `json:"degree"`
+	EMABEpochs      *int    `json:"emab_epochs"`
+	EMABMaxAddrs    *int    `json:"emab_max_addrs"`
+	VirtualWindow   *uint64 `json:"virtual_window"`
+	Minus           *bool   `json:"minus"`
+	LRUWriteback    *bool   `json:"lru_writeback"`
+	NoVirtualEpochs *bool   `json:"no_virtual_epochs"`
+}
+
+func newEBCP(params json.RawMessage, cores int) (prefetch.Prefetcher, error) {
+	p, err := decodeParams[ebcpParams]("ebcp", params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	if p.TableEntries != nil {
+		cfg.TableEntries = *p.TableEntries
+	}
+	if p.TableMaxAddrs != nil {
+		cfg.TableMaxAddrs = *p.TableMaxAddrs
+	}
+	if p.Degree != nil {
+		cfg.Degree = *p.Degree
+	}
+	if p.EMABEpochs != nil {
+		cfg.EMABEpochs = *p.EMABEpochs
+	}
+	if p.EMABMaxAddrs != nil {
+		cfg.EMABMaxAddrs = *p.EMABMaxAddrs
+	}
+	if p.VirtualWindow != nil {
+		cfg.VirtualWindow = *p.VirtualWindow
+	}
+	if p.Minus != nil {
+		cfg.Minus = *p.Minus
+	}
+	if p.LRUWriteback != nil {
+		cfg.LRUWriteback = *p.LRUWriteback
+	}
+	if p.NoVirtualEpochs != nil {
+		cfg.NoVirtualEpochs = *p.NoVirtualEpochs
+	}
+	cfg.Cores = cores
+	return core.New(cfg)
+}
+
+// degreeParams parameterize the fixed-geometry comparison prefetchers.
+type degreeParams struct {
+	Degree int `json:"degree"`
+}
+
+// streamParams parameterize the stream prefetcher.
+type streamParams struct {
+	Streams int `json:"streams"`
+	Degree  int `json:"degree"`
+}
+
+// solihinParams parameterize the memory-side correlation engine.
+type solihinParams struct {
+	Depth        int `json:"depth"`
+	Width        int `json:"width"`
+	TableEntries int `json:"table_entries"`
+}
+
+func degreeFactory(name string, build func(degree int) (prefetch.Prefetcher, error)) func(json.RawMessage, int) (prefetch.Prefetcher, error) {
+	return func(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+		p, err := decodeParams[degreeParams](name, params)
+		if err != nil {
+			return nil, err
+		}
+		return build(p.Degree)
+	}
+}
+
+func builtinPrefetchers() map[string]PrefetcherEntry {
+	entries := map[string]PrefetcherEntry{
+		"none": {
+			Name: "none", Doc: "no prefetching (the baseline machine)",
+			New: func(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+				if _, err := decodeParams[struct{}]("none", params); err != nil {
+					return nil, err
+				}
+				return prefetch.None{}, nil
+			},
+		},
+		"ebcp": {
+			Name: "ebcp", Doc: "the epoch-based correlation prefetcher (tuned defaults; every knob overridable)",
+			New: newEBCP,
+		},
+		"ghb-small": {
+			Name: "ghb-small", Doc: "global history buffer, 16K-entry index and buffer",
+			New: degreeFactory("ghb-small", func(d int) (prefetch.Prefetcher, error) { return prefetch.GHBSmall(d) }),
+		},
+		"ghb-large": {
+			Name: "ghb-large", Doc: "global history buffer, 256K-entry index and buffer",
+			New: degreeFactory("ghb-large", func(d int) (prefetch.Prefetcher, error) { return prefetch.GHBLarge(d) }),
+		},
+		"tcp-small": {
+			Name: "tcp-small", Doc: "tag correlating prefetcher, 2K-set pattern history table",
+			New: degreeFactory("tcp-small", func(d int) (prefetch.Prefetcher, error) { return prefetch.TCPSmall(d) }),
+		},
+		"tcp-large": {
+			Name: "tcp-large", Doc: "tag correlating prefetcher, 32K-set pattern history table",
+			New: degreeFactory("tcp-large", func(d int) (prefetch.Prefetcher, error) { return prefetch.TCPLarge(d) }),
+		},
+		"stream": {
+			Name: "stream", Doc: "sequential stream prefetcher",
+			New: func(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+				p, err := decodeParams[streamParams]("stream", params)
+				if err != nil {
+					return nil, err
+				}
+				return prefetch.NewStream(p.Streams, p.Degree)
+			},
+		},
+		"sms": {
+			Name: "sms", Doc: "spatial memory streaming",
+			New: func(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+				if _, err := decodeParams[struct{}]("sms", params); err != nil {
+					return nil, err
+				}
+				return prefetch.NewSMS(), nil
+			},
+		},
+		"solihin": {
+			Name: "solihin", Doc: "Solihin's memory-side pair-correlation engine",
+			New: func(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+				p, err := decodeParams[solihinParams]("solihin", params)
+				if err != nil {
+					return nil, err
+				}
+				return prefetch.NewSolihin(p.Depth, p.Width, p.TableEntries)
+			},
+		},
+	}
+	return entries
+}
+
+func builtinWorkloads() map[string]WorkloadEntry {
+	return map[string]WorkloadEntry{
+		"Database": {
+			Name: "Database", Doc: "OLTP database backend miss stream",
+			Params: workload.Database,
+		},
+		"TPC-W": {
+			Name: "TPC-W", Doc: "web-commerce application server miss stream",
+			Params: workload.TPCW,
+		},
+		"SPECjbb2005": {
+			Name: "SPECjbb2005", Doc: "server-side Java business logic miss stream",
+			Params: workload.SPECjbb2005,
+		},
+		"SPECjAppServer2004": {
+			Name: "SPECjAppServer2004", Doc: "J2EE application server miss stream",
+			Params: workload.SPECjAppServer2004,
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/prefetch"
+)
+
+// TestBuiltinPrefetchersBuild resolves and constructs every built-in
+// contender with the parameter blocks the canonical specs use.
+func TestBuiltinPrefetchersBuild(t *testing.T) {
+	cases := map[string]string{
+		"none":      ``,
+		"ebcp":      `{"degree": 6, "table_max_addrs": 6, "lru_writeback": false}`,
+		"ghb-small": `{"degree": 6}`,
+		"ghb-large": `{"degree": 6}`,
+		"tcp-small": `{"degree": 6}`,
+		"tcp-large": `{"degree": 6}`,
+		"stream":    `{"streams": 32, "degree": 6}`,
+		"sms":       ``,
+		"solihin":   `{"depth": 6, "width": 1, "table_entries": 1048576}`,
+	}
+	if got, want := len(PrefetcherNames()), len(cases); got < want {
+		t.Fatalf("PrefetcherNames() has %d entries, want at least %d", got, want)
+	}
+	for name, params := range cases {
+		e, err := Prefetcher(name)
+		if err != nil {
+			t.Errorf("Prefetcher(%q): %v", name, err)
+			continue
+		}
+		if e.Name != name {
+			t.Errorf("Prefetcher(%q).Name = %q", name, e.Name)
+		}
+		pf, err := e.New(json.RawMessage(params), 0)
+		if err != nil {
+			t.Errorf("building %q: %v", name, err)
+		}
+		if pf == nil {
+			t.Errorf("building %q returned a nil prefetcher", name)
+		}
+	}
+}
+
+// TestBuiltinWorkloads checks each workload entry's name matches its
+// parameter set (the spec compiler uses the name as the report column).
+func TestBuiltinWorkloads(t *testing.T) {
+	want := []string{"Database", "SPECjAppServer2004", "SPECjbb2005", "TPC-W"}
+	got := WorkloadNames()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("WorkloadNames() not sorted: %v", got)
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("WorkloadNames() = %v, want %v", got, want)
+	}
+	for _, name := range got {
+		e, err := Workload(name)
+		if err != nil {
+			t.Fatalf("Workload(%q): %v", name, err)
+		}
+		if p := e.Params(); p.Name != name {
+			t.Errorf("Workload(%q).Params().Name = %q", name, p.Name)
+		}
+	}
+}
+
+// TestUnknownNames pins the error contract: ErrInvalidConfig, naming
+// the unknown and listing what is registered.
+func TestUnknownNames(t *testing.T) {
+	if _, err := Prefetcher("markov"); err == nil {
+		t.Error("Prefetcher(markov) succeeded")
+	} else if !errors.Is(err, ebcperr.ErrInvalidConfig) {
+		t.Errorf("Prefetcher(markov) error not ErrInvalidConfig: %v", err)
+	} else if !strings.Contains(err.Error(), `"markov"`) || !strings.Contains(err.Error(), "ebcp") {
+		t.Errorf("error should name the unknown and list registered names: %v", err)
+	}
+	if _, err := Workload("SPECweb99"); err == nil || !errors.Is(err, ebcperr.ErrInvalidConfig) {
+		t.Errorf("Workload(SPECweb99) = %v, want ErrInvalidConfig", err)
+	}
+}
+
+// TestStrictParams: unknown parameter fields and params on
+// parameterless prefetchers are rejected, like every other strict
+// decoder in the repo.
+func TestStrictParams(t *testing.T) {
+	cases := []struct{ name, params string }{
+		{"ebcp", `{"degre": 6}`},
+		{"none", `{"degree": 6}`},
+		{"sms", `{"streams": 4}`},
+		{"solihin", `{"depth": 6, "width": 1, "entries": 4}`},
+	}
+	for _, c := range cases {
+		e, err := Prefetcher(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.New(json.RawMessage(c.params), 0); err == nil {
+			t.Errorf("%s with params %s built; want unknown-field rejection", c.name, c.params)
+		} else if !errors.Is(err, ebcperr.ErrInvalidConfig) {
+			t.Errorf("%s param error not ErrInvalidConfig: %v", c.name, err)
+		}
+	}
+}
+
+// TestRegisterExtension: a package can self-register a new contender;
+// duplicates and incomplete entries are rejected.
+func TestRegisterExtension(t *testing.T) {
+	entry := PrefetcherEntry{
+		Name: "test-custom",
+		Doc:  "test-only entry",
+		New: func(json.RawMessage, int) (prefetch.Prefetcher, error) {
+			return prefetch.None{}, nil
+		},
+	}
+	if err := RegisterPrefetcher(entry); err != nil {
+		t.Fatalf("registering: %v", err)
+	}
+	if _, err := Prefetcher("test-custom"); err != nil {
+		t.Errorf("resolving registered entry: %v", err)
+	}
+	if err := RegisterPrefetcher(entry); err == nil {
+		t.Error("duplicate registration succeeded")
+	} else if !errors.Is(err, ebcperr.ErrInvalidConfig) {
+		t.Errorf("duplicate registration error not ErrInvalidConfig: %v", err)
+	}
+	if err := RegisterPrefetcher(PrefetcherEntry{Name: "incomplete"}); err == nil {
+		t.Error("nil-constructor registration succeeded")
+	}
+	if err := RegisterWorkload(WorkloadEntry{Name: "Database"}); err == nil {
+		t.Error("workload registration without params factory succeeded")
+	}
+}

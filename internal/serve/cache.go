@@ -33,6 +33,7 @@ type Cache struct {
 	misses    uint64
 	joins     uint64
 	evictions uint64
+	oversize  uint64
 
 	// computeUS observes, for every computation the cache ran (i.e.
 	// every miss), its duration in microseconds — the serving layer's
@@ -58,8 +59,9 @@ type cflight struct {
 // NewCache creates a cache evicting least-recently-used entries once
 // stored costs exceed budget bytes. A budget <= 0 means unbounded (the
 // load harness uses that; the daemon always sets one). A single entry
-// larger than the whole budget is kept until another insertion displaces
-// it — the cache never refuses the value it just computed.
+// costing more than the whole budget is served to its caller but never
+// stored: no sequence of evictions could make room for it, so storing
+// it would pin it forever and thrash every fitting entry out.
 func NewCache(budget int64) *Cache {
 	return &Cache{
 		budget:   budget,
@@ -116,6 +118,14 @@ func (c *Cache) insertLocked(key string, v any, cost int64) {
 	if cost < 0 {
 		cost = 0
 	}
+	if c.budget > 0 && cost > c.budget {
+		// The eviction loop below spares the newest entry, so an entry
+		// that exceeds the budget on its own would survive every pass
+		// while forcing everything else out — a permanent squatter. Let
+		// the caller keep the value it computed and store nothing.
+		c.oversize++
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		// A racing caller can re-insert a key evicted between its miss
 		// and its store; keep the newer value and re-account the cost.
@@ -151,10 +161,13 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Joins     uint64 `json:"inflight_joins"`
 	Evictions uint64 `json:"evictions"`
-	Entries   int    `json:"entries"`
-	Inflight  int    `json:"inflight"`
-	Bytes     int64  `json:"bytes"`
-	Budget    int64  `json:"budget_bytes"`
+	// Oversize counts computed values rejected (not stored) because
+	// their single cost exceeded the whole budget.
+	Oversize uint64 `json:"oversize_rejects"`
+	Entries  int    `json:"entries"`
+	Inflight int    `json:"inflight"`
+	Bytes    int64  `json:"bytes"`
+	Budget   int64  `json:"budget_bytes"`
 	// HitRatio counts joins as hits: (hits+joins) / all lookups. 0 when
 	// nothing was looked up yet.
 	HitRatio float64 `json:"hit_ratio"`
@@ -172,6 +185,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Joins:     c.joins,
 		Evictions: c.evictions,
+		Oversize:  c.oversize,
 		Entries:   c.lru.Len(),
 		Inflight:  len(c.inflight),
 		Bytes:     c.bytes,

@@ -125,13 +125,51 @@ func TestCacheEvictsLRUUnderBudget(t *testing.T) {
 	}
 }
 
-// TestCacheKeepsOversizedSingleton: one entry larger than the whole
-// budget stays (the cache never refuses what it just computed).
-func TestCacheKeepsOversizedSingleton(t *testing.T) {
-	c := NewCache(10)
-	c.Do("big", func() (any, int) { return "x", 1000 })
-	if _, hit := c.Do("big", func() (any, int) { return "y", 1000 }); !hit {
-		t.Error("oversized singleton was evicted; it should survive until displaced")
+// TestCacheRejectsOversizeEntry is the regression test for the
+// oversize-squatter bug: an entry costing more than the whole budget
+// used to be stored anyway, and because eviction spares the newest
+// entry it could never leave — it pinned itself permanently while
+// forcing every fitting entry out. Now it is served but not stored.
+func TestCacheRejectsOversizeEntry(t *testing.T) {
+	c := NewCache(250)
+	calls := 0
+	big := func() (any, int) { calls++; return "x", 1000 }
+
+	if v, hit := c.Do("big", big); hit || v != "x" {
+		t.Fatalf("first Do: v=%v hit=%v, want the computed value with hit=false", v, hit)
+	}
+	if _, hit := c.Do("big", big); hit {
+		t.Error("oversize entry was stored; the same key must recompute")
+	}
+	if calls != 2 {
+		t.Errorf("compute ran %d times, want 2 (no storage, no coalescing window)", calls)
+	}
+	st := c.Stats()
+	if st.Oversize != 2 || st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats = %+v, want oversize=2 entries=0 bytes=0", st)
+	}
+
+	// Fitting entries survive an oversize computation on either side.
+	c.Do("a", func() (any, int) { return "a", 100 })
+	c.Do("big", big)
+	if _, hit := c.Do("a", func() (any, int) { return "a", 100 }); !hit {
+		t.Error("an oversize computation evicted a fitting entry")
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0", st.Evictions)
+	}
+}
+
+// TestCacheUnboundedKeepsLargeEntries: with no budget there is no such
+// thing as oversize.
+func TestCacheUnboundedKeepsLargeEntries(t *testing.T) {
+	c := NewCache(0)
+	c.Do("big", func() (any, int) { return "x", 1 << 40 })
+	if _, hit := c.Do("big", func() (any, int) { return "y", 1 << 40 }); !hit {
+		t.Error("unbounded cache dropped a large entry")
+	}
+	if st := c.Stats(); st.Oversize != 0 {
+		t.Errorf("oversize = %d, want 0 without a budget", st.Oversize)
 	}
 }
 

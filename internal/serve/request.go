@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"io"
 	"path/filepath"
@@ -8,6 +9,8 @@ import (
 
 	"ebcp/internal/ebcperr"
 	"ebcp/internal/exp"
+	"ebcp/internal/registry"
+	"ebcp/internal/spec"
 	"ebcp/internal/workload"
 )
 
@@ -29,8 +32,13 @@ const (
 // digest *resolved* values, a request spelling out a default hits the
 // same cells as one omitting it.
 type RunRequestV1 struct {
-	Schema     string `json:"schema"`
-	Experiment string `json:"experiment"`
+	Schema string `json:"schema"`
+	// Experiment names a canonical experiment ("table1", "fig4", ...).
+	// Spec instead inlines a whole user-authored ebcp.spec/v1 document,
+	// compiled through the registry like `ebcpexp -spec`. Exactly one of
+	// the two must be set.
+	Experiment string          `json:"experiment,omitempty"`
+	Spec       json.RawMessage `json:"spec,omitempty"`
 	// WarmInsts/MeasureInsts override the paper's 150M/100M windows
 	// (0 keeps them). MaxInsts truncates every cell's trace (0 = no
 	// limit).
@@ -70,12 +78,41 @@ func DecodeRunRequest(r io.Reader) (RunRequestV1, error) {
 	return rq, nil
 }
 
+// resolve produces the experiment this request runs: a canonical id, or
+// an inline ebcp.spec/v1 document compiled through the registry. For
+// inline specs, sp is the decoded spec (its windows apply when the
+// request sets none of its own) and canon its canonical encoding — the
+// session digests canon into every cell cache key, because a
+// user-authored cell key string is only unique within its spec, unlike
+// canonical cells, which every invocation path shares.
+func (rq RunRequestV1) resolve() (e exp.Experiment, sp spec.SpecV1, canon string, err error) {
+	if len(rq.Spec) == 0 {
+		e, err = exp.ByID(rq.Experiment)
+		return e, spec.SpecV1{}, "", err
+	}
+	sp, err = spec.Decode(bytes.NewReader(rq.Spec))
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, "", err
+	}
+	if e, err = exp.FromSpec(sp); err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, "", err
+	}
+	b, err := spec.Canonical(sp)
+	if err != nil {
+		return exp.Experiment{}, spec.SpecV1{}, "", err
+	}
+	return e, sp, string(b), nil
+}
+
 // validate checks the fields that do not need server configuration.
 func (rq RunRequestV1) validate() error {
-	if rq.Experiment == "" {
-		return ebcperr.Invalidf("serve: request names no experiment")
+	switch {
+	case rq.Experiment == "" && len(rq.Spec) == 0:
+		return ebcperr.Invalidf("serve: request names no experiment (set experiment or an inline spec)")
+	case rq.Experiment != "" && len(rq.Spec) > 0:
+		return ebcperr.Invalidf("serve: experiment and spec are mutually exclusive")
 	}
-	if _, err := exp.ByID(rq.Experiment); err != nil {
+	if _, _, _, err := rq.resolve(); err != nil {
 		return err
 	}
 	if rq.BenchScale < 0 || rq.BenchScale > 1 {
@@ -111,8 +148,11 @@ func (rq RunRequestV1) corrtabPath(dir string) (string, error) {
 
 // options maps a validated request onto the exp.Options its session
 // runs with. simWorkers is the server's per-request simulation
-// parallelism; the shared cache is attached by the worker.
-func (rq RunRequestV1) options(cfg Config) (exp.Options, error) {
+// parallelism; the shared cache is attached by the worker. restricted
+// is an inline spec's benchmarks field: bench_scale materializes a
+// session-level benchmark override, which would otherwise silently
+// widen a restricted spec back to the full paper set.
+func (rq RunRequestV1) options(cfg Config, restricted []string) (exp.Options, error) {
 	opts := exp.Options{
 		Warm:     rq.WarmInsts,
 		Measure:  rq.MeasureInsts,
@@ -120,8 +160,19 @@ func (rq RunRequestV1) options(cfg Config) (exp.Options, error) {
 		Workers:  cfg.SimWorkers,
 	}
 	if rq.BenchScale > 0 && rq.BenchScale < 1 {
+		base := workload.All()
+		if len(restricted) > 0 {
+			base = base[:0:0]
+			for _, name := range restricted {
+				e, err := registry.Workload(name)
+				if err != nil {
+					return exp.Options{}, err
+				}
+				base = append(base, e.Params())
+			}
+		}
 		var scaled []workload.Params
-		for _, b := range workload.All() {
+		for _, b := range base {
 			s, err := workload.Scaled(b, rq.BenchScale)
 			if err != nil {
 				return exp.Options{}, err

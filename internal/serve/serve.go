@@ -190,16 +190,25 @@ func (s *Server) execute(j *job) {
 		j.err = ebcperr.Cancelledf("serve: request abandoned in queue: %v", err)
 		return
 	}
-	opts, err := j.rq.options(s.cfg)
+	e, sp, specJSON, err := j.rq.resolve()
+	if err != nil {
+		j.err = err
+		return
+	}
+	opts, err := j.rq.options(s.cfg, sp.Benchmarks)
 	if err != nil {
 		j.err = err
 		return
 	}
 	opts.Cache = s.cache
-	e, err := exp.ByID(j.rq.Experiment)
-	if err != nil {
-		j.err = err
-		return
+	opts.SpecJSON = specJSON
+	// An inline spec's windows apply only when the request sets none of
+	// its own — explicit warm_insts/measure_insts always win.
+	if j.rq.WarmInsts == 0 && sp.WarmInsts > 0 {
+		opts.Warm = sp.WarmInsts
+	}
+	if j.rq.MeasureInsts == 0 && sp.MeasureInsts > 0 {
+		opts.Measure = sp.MeasureInsts
 	}
 	session := exp.NewSessionContext(j.ctx, opts)
 	rep := e.Run(session)

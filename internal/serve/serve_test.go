@@ -135,6 +135,82 @@ func TestConcurrentIdenticalPostsSimulateOnce(t *testing.T) {
 	}
 }
 
+// inlineSpec is a minimal ebcp.spec/v1 document (parameterized by EBCP
+// degree so tests can make semantically distinct specs that reuse the
+// same cell key strings).
+func inlineSpec(degree int) string {
+	return fmt.Sprintf(`{
+	  "schema": "ebcp.spec/v1",
+	  "id": "mini",
+	  "title": "A minimal sweep",
+	  "kind": "sim",
+	  "benchmarks": ["SPECjbb2005"],
+	  "report": {"title": "Improvement"},
+	  "columns": {"benchmarks": true},
+	  "cells": {
+	    "base": {"key": "base/{bench}", "prefetcher": {"name": "none"}},
+	    "x": {"key": "mini/{bench}/x", "prefetcher": {"name": "ebcp", "params": {"degree": %d}}, "baseline": "base"}
+	  },
+	  "rows": [
+	    {"rows": [{"label": "EBCP", "metric": "improvement_pct", "cells": ["x"]}]}
+	  ]
+	}`, degree)
+}
+
+// specBody wraps an inline spec in a fast runreq envelope.
+func specBody(spec string) string {
+	return fmt.Sprintf(`{"schema":"ebcp.runreq/v1","warm_insts":200000,"measure_insts":100000,"bench_scale":0.05,"spec":%s}`, spec)
+}
+
+// TestInlineSpecRunsAndCaches: a request carrying a whole spec instead
+// of an experiment id runs it, identical spec requests share cells, and
+// two specs binding the same cell key string to different contents do
+// NOT collide — the spec's canonical bytes are part of every cell key.
+func TestInlineSpecRunsAndCaches(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	resp, body := post(t, ts.URL, specBody(inlineSpec(8)))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	rep, err := metrics.DecodeReportV1(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("response is not a strict ebcp.report/v1: %v", err)
+	}
+	if len(rep.Grids) != 1 || rep.Grids[0].ID != "mini" {
+		t.Fatalf("unexpected report shape: grids=%d", len(rep.Grids))
+	}
+	if rep.Grids[0].NACells != 0 {
+		t.Fatalf("grid has %d n/a cells, want 0", rep.Grids[0].NACells)
+	}
+	// 2 cells × 1 benchmark: the spec's restriction must survive
+	// bench_scale (which materializes a session-level benchmark
+	// override — it used to widen restricted specs back to all four).
+	firstRuns := s.Stats().SimRuns
+	if firstRuns != 2 {
+		t.Fatalf("inline spec ran %d simulations, want 2 (restricted to one benchmark)", firstRuns)
+	}
+
+	// Identical spec → every cell from the shared cache.
+	resp2, body2 := post(t, ts.URL, specBody(inlineSpec(8)))
+	if resp2.StatusCode != http.StatusOK || body2 != body {
+		t.Fatalf("identical inline-spec request: status %d, body match %v", resp2.StatusCode, body2 == body)
+	}
+	if st := s.Stats(); st.SimRuns != firstRuns || st.SimShared == 0 {
+		t.Errorf("identical spec re-simulated: runs %d → %d, shared %d", firstRuns, st.SimRuns, st.SimShared)
+	}
+
+	// Same cell key strings, different contender parameters: the cache
+	// must keep them apart, so this simulates again.
+	resp3, _ := post(t, ts.URL, specBody(inlineSpec(2)))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("differing spec status = %d", resp3.StatusCode)
+	}
+	if st := s.Stats(); st.SimRuns == firstRuns {
+		t.Error("a semantically different spec reused another spec's cells")
+	}
+}
+
 // TestRequestValidation maps malformed requests to their status codes
 // through the one shared table.
 func TestRequestValidation(t *testing.T) {
@@ -148,6 +224,9 @@ func TestRequestValidation(t *testing.T) {
 		{"unknown field", `{"schema":"ebcp.runreq/v1","experiment":"table1","zap":1}`, 400, "unknown field"},
 		{"no experiment", `{"schema":"ebcp.runreq/v1"}`, 400, "names no experiment"},
 		{"unknown experiment", `{"schema":"ebcp.runreq/v1","experiment":"fig99"}`, 400, "unknown experiment"},
+		{"experiment and spec together", `{"schema":"ebcp.runreq/v1","experiment":"table1","spec":` + inlineSpec(8) + `}`, 400, "mutually exclusive"},
+		{"bad inline spec schema", `{"schema":"ebcp.runreq/v1","spec":{"schema":"nope/v9"}}`, 400, "unsupported schema"},
+		{"inline spec unknown prefetcher", `{"schema":"ebcp.runreq/v1","spec":` + strings.Replace(inlineSpec(8), `"ebcp"`, `"markov"`, 1) + `}`, 400, "markov"},
 		{"bad scale", `{"schema":"ebcp.runreq/v1","experiment":"table1","bench_scale":2}`, 400, "bench_scale"},
 		{"bad priority", `{"schema":"ebcp.runreq/v1","experiment":"table1","priority":"urgent"}`, 400, "unknown priority"},
 		{"negative timeout", `{"schema":"ebcp.runreq/v1","experiment":"table1","timeout_ms":-5}`, 400, "timeout_ms"},

@@ -43,11 +43,11 @@ func recordsFromFuzz(data []byte) []Record {
 // error.
 func FuzzEncodeDecode(f *testing.F) {
 	// Seed corpus: the interesting boundary shapes.
-	f.Add([]byte{})                                  // empty stream
-	f.Add(magic[:])                                  // header only
-	f.Add([]byte("EBCPTRC2 not the right magic"))    // bad magic
-	f.Add(append(append([]byte{}, magic[:]...), 5))  // truncated after gap
-	f.Add(append(append([]byte{}, magic[:]...),      // implausible gap (> maxSaneGap)
+	f.Add([]byte{})                                 // empty stream
+	f.Add(magic[:])                                 // header only
+	f.Add([]byte("EBCPTRC2 not the right magic"))   // bad magic
+	f.Add(append(append([]byte{}, magic[:]...), 5)) // truncated after gap
+	f.Add(append(append([]byte{}, magic[:]...),     // implausible gap (> maxSaneGap)
 		0xff, 0xff, 0xff, 0xff, 0x7f))
 	valid := func(recs ...Record) []byte {
 		var buf bytes.Buffer
