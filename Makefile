@@ -22,12 +22,13 @@ lint: vet
 	go run ./cmd/ebcplint ./...
 
 # Statement-coverage floor for the measurement-critical packages: the
-# metrics layer (every report number flows through it) and the simulator
-# core. A drop below 70% means new code shipped without tests.
+# metrics layer (every report number flows through it), the simulator
+# core, and the prefetcher contenders (every reported delta comes from
+# one of them). A drop below 70% means new code shipped without tests.
 COVER_FLOOR := 70
 cover:
 	@fail=0; \
-	for pkg in ./internal/metrics ./internal/sim; do \
+	for pkg in ./internal/metrics ./internal/sim ./internal/prefetch; do \
 		pct=$$(go test -cover $$pkg | awk '/coverage:/ { sub("%", "", $$5); print $$5 }'); \
 		if [ -z "$$pct" ]; then \
 			echo "cover: no coverage line for $$pkg (tests failed?)"; fail=1; \
@@ -42,7 +43,11 @@ cover:
 # Full suite under the race detector (plus the lint gate and the
 # coverage floor). Slow — roughly ten minutes on one core; the
 # determinism, single-flight and cancellation tests in
-# internal/exp/parallel_test.go are the interesting part.
+# internal/exp/parallel_test.go are the interesting part. The three
+# slowest shape tests skip themselves under -race (see
+# internal/exp/race_on_test.go): their cells still run under race via
+# TestCanonicalGoldens, and the shape assertions hold in plain `go
+# test`, so the package fits the default timeout on one core.
 race: lint cover
 	go test -race ./...
 

@@ -8,6 +8,7 @@
 //	ebcpexp -exp all -workers 8      # shard simulations over 8 goroutines
 //	ebcpexp -exp all -timeout 2m     # render whatever completed in time
 //	ebcpexp -exp table1 -json        # one ebcp.report/v1 JSON document
+//	ebcpexp -exp frontier            # post-paper contender shootout
 //	ebcpexp -spec myexp.json         # run a user-authored ebcp.spec/v1 file
 //	ebcpexp -list
 //

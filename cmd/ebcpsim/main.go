@@ -70,7 +70,8 @@ func validateFlags(degree, tableEntries, pbEntries int, warm, measure, maxInsts,
 func main() {
 	var (
 		workloadName = flag.String("workload", "Database", "benchmark: Database | TPC-W | SPECjbb2005 | SPECjAppServer2004")
-		pfName       = flag.String("prefetcher", "ebcp", "prefetcher: none | ebcp | ebcp-minus | ghb-small | ghb-large | tcp-small | tcp-large | stream | sms | solihin-3,2 | solihin-6,1")
+		pfName       = flag.String("prefetcher", "ebcp", "prefetcher: none | ebcp | ebcp-minus | ghb-small | ghb-large | tcp-small | tcp-large | stream | sms | solihin-3,2 | solihin-6,1 | chain | hermes")
+		filterWrap   = flag.Bool("filter", false, "wrap the prefetcher in the adaptive usefulness filter (default shape)")
 		degree       = flag.Int("degree", 8, "prefetch degree (EBCP/GHB/TCP/stream)")
 		tableEntries = flag.Int("table-entries", 1<<20, "correlation table entries (EBCP)")
 		pbEntries    = flag.Int("pb", 64, "prefetch buffer entries")
@@ -121,6 +122,11 @@ func main() {
 	pf, err := buildPrefetcher(*pfName, *degree, *tableEntries)
 	if err != nil {
 		die("%v", err)
+	}
+	if *filterWrap {
+		if pf, err = ebcp.NewFilter(pf, ebcp.DefaultFilterConfig()); err != nil {
+			die("-filter: %v", err)
+		}
 	}
 	// The table flags only make sense for prefetchers that have a
 	// correlation table; reject mismatches up front rather than silently
@@ -303,6 +309,15 @@ func buildPrefetcher(name string, degree, tableEntries int) (ebcp.Prefetcher, er
 		return ebcp.NewSolihin(3, 2)
 	case "solihin-6,1", "solihin61":
 		return ebcp.NewSolihin(6, 1)
+	case "chain":
+		ccfg := ebcp.DefaultChainConfig()
+		ccfg.Degree = degree
+		if degree > ccfg.Successors {
+			ccfg.Successors = degree
+		}
+		return ebcp.NewChain(ccfg)
+	case "hermes":
+		return ebcp.NewHermes(ebcp.DefaultHermesConfig(), 1)
 	}
 	return nil, ebcperr.Invalidf("unknown prefetcher %q", name)
 }

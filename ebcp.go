@@ -247,6 +247,43 @@ var (
 // entry (custom prefetchers pass it to PrefetchContext.Prefetch).
 const NoTableIndex = cache.NoTableIndex
 
+// Frontier contenders: post-paper comparison points evaluated by the
+// "frontier" experiment (see DESIGN.md, "Contender map").
+type (
+	// ChainConfig shapes the chaining correlation prefetcher.
+	ChainConfig = prefetch.ChainConfig
+	// HermesConfig shapes the perceptron off-chip predictor.
+	HermesConfig = prefetch.HermesConfig
+	// FilterConfig shapes the adaptive prefetch-filter wrapper.
+	FilterConfig = prefetch.FilterConfig
+)
+
+// Tuned default shapes of the frontier contenders.
+var (
+	DefaultChainConfig  = prefetch.DefaultChainConfig
+	DefaultHermesConfig = prefetch.DefaultHermesConfig
+	DefaultFilterConfig = prefetch.DefaultFilterConfig
+)
+
+// NewChain builds the chaining correlation prefetcher: trigger→successor
+// pair correlation with chained re-lookups on prefetch hits.
+func NewChain(cfg ChainConfig) (Prefetcher, error) { return prefetch.NewChain(cfg) }
+
+// NewHermes builds the Hermes-style perceptron off-chip predictor for a
+// machine with the given core count (0 and 1 both mean single-core). It
+// predicts which accesses leave the chip and dispatches their memory
+// requests early instead of prefetching addresses.
+func NewHermes(cfg HermesConfig, cores int) (Prefetcher, error) {
+	return prefetch.NewHermes(cfg, cores)
+}
+
+// NewFilter wraps any prefetcher in the adaptive usefulness filter: it
+// vetoes prefetches from pages that fail the used/issued threshold, and
+// never touches the demand path.
+func NewFilter(inner Prefetcher, cfg FilterConfig) (Prefetcher, error) {
+	return prefetch.NewFilter(inner, cfg)
+}
+
 // NewStream builds the 32-stream stride prefetcher.
 func NewStream(degree int) (Prefetcher, error) { return prefetch.NewStream(32, degree) }
 

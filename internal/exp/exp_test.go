@@ -244,6 +244,9 @@ func TestFig8BandwidthSeparation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("60 simulations")
 	}
+	if raceDetectorOn {
+		t.Skip("60 simulations; fig8 cells still race-exercised by TestCanonicalGoldens")
+	}
 	rep := mustExp(t, "fig8").Run(testSession)
 	// For each benchmark, the degree-32 point at 9.6GB/s must beat the
 	// degree-32 point at 3.2GB/s (improvements vs the common baseline).
@@ -305,6 +308,9 @@ func TestCMPPlacementArgument(t *testing.T) {
 	if testing.Short() {
 		t.Skip("36 simulations")
 	}
+	if raceDetectorOn {
+		t.Skip("36 simulations; cmp cells still race-exercised by TestCanonicalGoldens")
+	}
 	rep := mustExp(t, "cmp").Run(testSession)
 	for _, b := range testBenchmarks {
 		e1, _ := rep.Value(b.Name+": EBCP", "1 core")
@@ -326,6 +332,9 @@ func TestCMPPlacementArgument(t *testing.T) {
 func TestAblationsEveryChoiceMatters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("32 simulations")
+	}
+	if raceDetectorOn {
+		t.Skip("32 simulations; ablation cells still race-exercised by TestCanonicalGoldens")
 	}
 	rep := mustExp(t, "ablations").Run(testSession)
 	for _, b := range testBenchmarks {

@@ -16,13 +16,14 @@ import (
 // any window length because each cell is itself deterministic.
 var parallelWindows = Options{Warm: 2e6, Measure: 1e6}
 
-// TestReportsWorkerCountInvariant runs Table 1 plus a figure experiment
-// on a serial session and on an 8-worker session and requires
-// byte-identical rendered reports and identical run accounting. Fig4
-// also exercises cross-experiment memo sharing (it reuses Table 1's
-// baselines).
+// TestReportsWorkerCountInvariant runs Table 1 plus two grid
+// experiments on a serial session and on an 8-worker session and
+// requires byte-identical rendered reports and identical run
+// accounting. Fig4 and the frontier shootout also exercise
+// cross-experiment memo sharing (fig4 reuses Table 1's baselines;
+// frontier reuses fig9 cell keys).
 func TestReportsWorkerCountInvariant(t *testing.T) {
-	ids := []string{"table1", "fig4"}
+	ids := []string{"table1", "fig4", "frontier"}
 
 	opts1 := parallelWindows
 	opts1.Workers = 1

@@ -1,0 +1,13 @@
+//go:build race
+
+package exp
+
+// raceDetectorOn mirrors the -race build tag so the three slowest
+// experiment shape tests (the same trio -short skips) can stay inside
+// the default per-package test timeout on slow single-CPU hosts, where
+// the race runtime multiplies simulation time ~10×. Race coverage is
+// not lost: TestCanonicalGoldens runs every canonical experiment —
+// including fig8, cmp and the ablations — through the same concurrent
+// scheduler under race; only the scale-calibrated shape assertions are
+// deferred to the non-race run.
+const raceDetectorOn = true

@@ -133,8 +133,14 @@ func (c *compiledSpec) simReq(name string, b workload.Params) runReq {
 	return runReq{
 		key:   expandBench(cell.Key, b.Name),
 		bench: b,
-		pf:    func() (prefetch.Prefetcher, error) { return entry.New(params, 0) },
-		mut:   mut,
+		pf: func() (prefetch.Prefetcher, error) {
+			p, err := entry.New(params, 0)
+			if err != nil {
+				return nil, err
+			}
+			return registry.WrapFilter(p, cell.Prefetcher.Filter)
+		},
+		mut: mut,
 	}
 }
 
@@ -147,7 +153,13 @@ func (c *compiledSpec) cmpReqFor(name string, b workload.Params) cmpReq {
 		key:   expandBench(cell.Key, b.Name),
 		bench: b,
 		cores: cell.Cores,
-		pf:    func(cores int) (prefetch.Prefetcher, error) { return entry.New(params, cores) },
+		pf: func(cores int) (prefetch.Prefetcher, error) {
+			p, err := entry.New(params, cores)
+			if err != nil {
+				return nil, err
+			}
+			return registry.WrapFilter(p, cell.Prefetcher.Filter)
+		},
 	}
 }
 
@@ -260,6 +272,8 @@ func (c *compiledSpec) value(s *Session, metric, cellName string, b workload.Par
 		return cellValue(100*res.Coverage(), err)
 	case "accuracy_pct":
 		return cellValue(100*res.Accuracy(), err)
+	case "timeliness_pct":
+		return cellValue(100*res.Timeliness(), err)
 	}
 	// Unreachable: spec.Validate pins the metric set; an unknown metric
 	// never compiles.
@@ -275,7 +289,7 @@ var specFS embed.FS
 // experiments; TestCanonicalSpecsMatchFiles keeps it equal to the
 // embedded file set.
 var canonicalOrder = []string{
-	"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "cmp", "ablations",
+	"table1", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "cmp", "ablations", "frontier",
 }
 
 var (

@@ -157,3 +157,27 @@ func TestFromSpecBadCellParamsRenderNA(t *testing.T) {
 		t.Errorf("FirstError() = %v, want the cell's ErrInvalidConfig", s.FirstError())
 	}
 }
+
+// TestFromSpecBadFilterBlockRendersNA: the same contract for the
+// optional filter wrapper — a cell whose filter block the registry
+// rejects (unknown field, strict decode) renders n/a instead of
+// aborting the report.
+func TestFromSpecBadFilterBlockRendersNA(t *testing.T) {
+	src := strings.Replace(minimalSpec,
+		`"prefetcher": {"name": "ebcp"}`,
+		`"prefetcher": {"name": "ebcp", "filter": {"thresholdpct": 20}}`, 1)
+	sp := specFromJSON(t, src)
+	sp.Benchmarks = []string{"SPECjbb2005"}
+	e, err := FromSpec(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(Options{Warm: 1e6, Measure: 1e6})
+	rep := e.Run(s)
+	if rep.NACells() != 1 {
+		t.Errorf("NACells() = %d, want 1 (the bad filter block)", rep.NACells())
+	}
+	if s.FirstError() == nil || !errors.Is(s.FirstError(), ebcperr.ErrInvalidConfig) {
+		t.Errorf("FirstError() = %v, want the filter block's ErrInvalidConfig", s.FirstError())
+	}
+}

@@ -44,11 +44,19 @@ type PBCounters struct {
 	Invalidations uint64 `json:"invalidations"`
 }
 
-// PFCounters are the prefetcher activity counters.
+// PFCounters are the prefetcher activity counters. SpecReads/SpecDrops
+// count speculative off-chip reads launched by latency predictors
+// (Hermes-style early dispatch on a mispredicted on-chip access);
+// Filtered counts prefetches an issue filter rejected after the
+// redundancy check. All three are omitempty: they are zero for every
+// contender that predates them, keeping older reports byte-identical.
 type PFCounters struct {
 	Issued      uint64 `json:"issued"`
 	Dropped     uint64 `json:"dropped"`
 	Redundant   uint64 `json:"redundant"`
+	Filtered    uint64 `json:"filtered,omitempty"`
+	SpecReads   uint64 `json:"spec_reads,omitempty"`
+	SpecDrops   uint64 `json:"spec_drops,omitempty"`
 	TableReads  uint64 `json:"table_reads"`
 	TableWrites uint64 `json:"table_writes"`
 }
@@ -207,11 +215,13 @@ func (s *Snapshot) CheckInvariants() error {
 	if pbHits > s.PF.Issued {
 		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: PB hits %d exceed prefetches issued %d", pbHits, s.PF.Issued)
 	}
-	if s.Mem.Prefetch.Reads != s.PF.Issued {
-		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class memory reads %d != prefetches issued %d", s.Mem.Prefetch.Reads, s.PF.Issued)
+	if s.Mem.Prefetch.Reads != s.PF.Issued+s.PF.SpecReads {
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class memory reads %d != prefetches issued %d + speculative reads %d",
+			s.Mem.Prefetch.Reads, s.PF.Issued, s.PF.SpecReads)
 	}
-	if s.Mem.Prefetch.ReadDrops != s.PF.Dropped {
-		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class read drops %d != prefetches dropped %d", s.Mem.Prefetch.ReadDrops, s.PF.Dropped)
+	if s.Mem.Prefetch.ReadDrops != s.PF.Dropped+s.PF.SpecDrops {
+		return ebcperr.Wrap(ebcperr.ErrInvariant, "metrics: prefetch-class read drops %d != prefetches dropped %d + speculative drops %d",
+			s.Mem.Prefetch.ReadDrops, s.PF.Dropped, s.PF.SpecDrops)
 	}
 
 	// Core time: the clock only advances through on-chip execution and

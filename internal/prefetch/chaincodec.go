@@ -1,0 +1,119 @@
+// ebcp.chain/v1: the schema-versioned serialization of a trained
+// chaining-correlation table, following the ebcp.corrtab/v1 idiom: a
+// schema string leads the document, the shared metrics.WriteJSON
+// encoder produces byte-stable output, and the decoder is strict —
+// unknown fields, wrong schemas, bad geometry, duplicate triggers or
+// successors and over-long rows are all loud errors, never partial
+// tables.
+//
+// Only architected state is serialized: the geometry (entries,
+// successors per entry) and the live rows in FIFO order (oldest first)
+// with each row's successors in insertion order and their saturating
+// counts. Re-inserting the rows into a fresh ring reproduces the table,
+// so decode(encode(t)) answers AppendTopK exactly like t.
+package prefetch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+	"ebcp/internal/metrics"
+)
+
+// ChainSchemaV1 identifies version 1 of the serialized chain table.
+const ChainSchemaV1 = "ebcp.chain/v1"
+
+// ChainSuccV1 is one successor in wire form.
+type ChainSuccV1 struct {
+	Line  uint64 `json:"line"`
+	Count uint8  `json:"count"`
+}
+
+// ChainRowV1 is one live trigger entry in wire form, successors in
+// insertion order.
+type ChainRowV1 struct {
+	Trigger uint64        `json:"trigger"`
+	Succs   []ChainSuccV1 `json:"succs"`
+}
+
+// ChainDocV1 is the serialized table. Rows are in FIFO order (oldest
+// first); the decoder rebuilds the ring by re-inserting them in order,
+// so every table has exactly one canonical wire form.
+type ChainDocV1 struct {
+	Schema     string       `json:"schema"`
+	Entries    int          `json:"entries"`
+	Successors int          `json:"successors"`
+	Rows       []ChainRowV1 `json:"rows"`
+}
+
+// EncodeChainTable writes the table to w as an ebcp.chain/v1 document.
+func EncodeChainTable(w io.Writer, t *ChainTable) error {
+	doc := ChainDocV1{
+		Schema:     ChainSchemaV1,
+		Entries:    t.cfg.Entries,
+		Successors: t.cfg.Successors,
+		Rows:       make([]ChainRowV1, 0, t.n),
+	}
+	for _, row := range t.Rows() {
+		wire := ChainRowV1{Trigger: uint64(row.Trigger), Succs: make([]ChainSuccV1, len(row.Succs))}
+		for i, s := range row.Succs {
+			wire.Succs[i] = ChainSuccV1{Line: uint64(s.Line), Count: s.Count}
+		}
+		doc.Rows = append(doc.Rows, wire)
+	}
+	if err := metrics.WriteJSON(w, doc); err != nil {
+		return fmt.Errorf("prefetch: encoding chain table: %w", err)
+	}
+	return nil
+}
+
+// DecodeChainTable parses an ebcp.chain/v1 document and reconstructs
+// the table. Unknown fields, wrong schema strings, invalid geometry,
+// more rows than entries, duplicate triggers, over-long or duplicate
+// successor lists and zero counts are all rejected; schema and
+// row-shape errors match ebcperr.ErrBadReport under errors.Is.
+func DecodeChainTable(r io.Reader) (*ChainTable, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc ChainDocV1
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("prefetch: decoding chain table: %w", err)
+	}
+	if doc.Schema != ChainSchemaV1 {
+		return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: unsupported chain table schema %q (want %q)", doc.Schema, ChainSchemaV1)
+	}
+	t, err := NewChainTable(ChainTableConfig{Entries: doc.Entries, Successors: doc.Successors})
+	if err != nil {
+		return nil, err
+	}
+	if len(doc.Rows) > doc.Entries {
+		return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: %d chain rows exceed the %d-entry geometry", len(doc.Rows), doc.Entries)
+	}
+	for i, row := range doc.Rows {
+		if len(row.Succs) > doc.Successors {
+			return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: chain row %d holds %d successors, geometry allows %d", i, len(row.Succs), doc.Successors)
+		}
+		if t.slot(amo.Line(row.Trigger), false) >= 0 {
+			return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: chain row %d duplicates trigger %d", i, row.Trigger)
+		}
+		s := t.slot(amo.Line(row.Trigger), true)
+		base := int(s) * t.cfg.Successors
+		for j, succ := range row.Succs {
+			if succ.Count == 0 {
+				return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: chain row %d successor %d has count 0 (live successors start at 1)", i, j)
+			}
+			for k := 0; k < j; k++ {
+				if t.lines[base+k] == amo.Line(succ.Line) {
+					return nil, ebcperr.Wrap(ebcperr.ErrBadReport, "prefetch: chain row %d duplicates successor line %d", i, succ.Line)
+				}
+			}
+			t.lines[base+j] = amo.Line(succ.Line)
+			t.counts[base+j] = succ.Count
+		}
+		t.lens[s] = uint16(len(row.Succs))
+	}
+	return t, nil
+}

@@ -1,0 +1,167 @@
+package prefetch
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/ebcperr"
+)
+
+// trainChainTable fills a table with a seeded random pair stream.
+func trainChainTable(t *testing.T, entries, successors, steps int, seed int64) *ChainTable {
+	t.Helper()
+	tab := must(NewChainTable(ChainTableConfig{Entries: entries, Successors: successors}))
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < steps; i++ {
+		tab.Update(amo.Line(rng.Intn(4*entries)), amo.Line(rng.Intn(8*entries)))
+	}
+	return tab
+}
+
+func TestChainCodecRoundTrip(t *testing.T) {
+	for _, shape := range []struct{ entries, successors, steps int }{
+		{8, 2, 0},    // empty
+		{8, 2, 500},  // saturated ring
+		{64, 8, 200}, // partially filled
+	} {
+		tab := trainChainTable(t, shape.entries, shape.successors, shape.steps, 7)
+		var buf bytes.Buffer
+		if err := EncodeChainTable(&buf, tab); err != nil {
+			t.Fatalf("%+v: encode: %v", shape, err)
+		}
+		dec, err := DecodeChainTable(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", shape, err)
+		}
+		// The decoded table answers exactly like the original...
+		for q := 0; q < 4*shape.entries; q++ {
+			want := tab.AppendTopK(nil, amo.Line(q), shape.successors)
+			got := dec.AppendTopK(nil, amo.Line(q), shape.successors)
+			if len(want) != len(got) {
+				t.Fatalf("%+v: TopK(%d) diverges after round trip: %v vs %v", shape, q, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%+v: TopK(%d) diverges after round trip: %v vs %v", shape, q, got, want)
+				}
+			}
+		}
+		// ...and re-encodes to the same canonical bytes.
+		var again bytes.Buffer
+		if err := EncodeChainTable(&again, dec); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Errorf("%+v: encode(decode(encode(t))) is not byte-stable", shape)
+		}
+	}
+}
+
+func TestChainDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want error
+	}{
+		{"not json", `nope`, nil},
+		{"unknown field", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": [], "extra": 1}`, nil},
+		{"wrong schema", `{"schema": "ebcp.corrtab/v1", "entries": 8, "successors": 2, "rows": []}`, ebcperr.ErrBadReport},
+		{"bad entries", `{"schema": "ebcp.chain/v1", "entries": 7, "successors": 2, "rows": []}`, ebcperr.ErrInvalidConfig},
+		{"bad successors", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 0, "rows": []}`, ebcperr.ErrInvalidConfig},
+		{"successors over cap", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 65, "rows": []}`, ebcperr.ErrInvalidConfig},
+		{"too many rows", `{"schema": "ebcp.chain/v1", "entries": 2, "successors": 1, "rows": [` +
+			`{"trigger": 1, "succs": []}, {"trigger": 2, "succs": []}, {"trigger": 3, "succs": []}]}`, ebcperr.ErrBadReport},
+		{"duplicate trigger", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": [` +
+			`{"trigger": 5, "succs": []}, {"trigger": 5, "succs": []}]}`, ebcperr.ErrBadReport},
+		{"row too long", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 1, "rows": [` +
+			`{"trigger": 5, "succs": [{"line": 1, "count": 1}, {"line": 2, "count": 1}]}]}`, ebcperr.ErrBadReport},
+		{"zero count", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": [` +
+			`{"trigger": 5, "succs": [{"line": 1, "count": 0}]}]}`, ebcperr.ErrBadReport},
+		{"duplicate successor", `{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": [` +
+			`{"trigger": 5, "succs": [{"line": 1, "count": 2}, {"line": 1, "count": 1}]}]}`, ebcperr.ErrBadReport},
+	}
+	for _, c := range cases {
+		tab, err := DecodeChainTable(strings.NewReader(c.doc))
+		if err == nil {
+			t.Errorf("%s: decoded into a %d-row table, want rejection", c.name, tab.Len())
+			continue
+		}
+		if c.want != nil && !errors.Is(err, c.want) {
+			t.Errorf("%s: error %q not classified %v", c.name, err, c.want)
+		}
+	}
+}
+
+// FuzzChainCodec drives a live table with a fuzz-shaped op stream, then
+// demands the canonical wire form round-trips: decode(encode(live))
+// answers identically and re-encodes byte-for-byte.
+func FuzzChainCodec(f *testing.F) {
+	f.Add([]byte{}, uint8(3), uint8(2))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(2), uint8(1))
+	f.Add([]byte{0xff, 0x00, 0xfe, 0x01, 0x80, 0x7f, 0x81, 0x7e}, uint8(4), uint8(7))
+	f.Fuzz(func(t *testing.T, ops []byte, entriesLog, successors uint8) {
+		cfg := ChainTableConfig{Entries: 1 << (entriesLog % 8), Successors: 1 + int(successors%8)}
+		live, err := NewChainTable(cfg)
+		if err != nil {
+			t.Skip()
+		}
+		for i := 0; i+1 < len(ops); i += 2 {
+			live.Update(amo.Line(ops[i]), amo.Line(ops[i+1]))
+		}
+
+		var buf bytes.Buffer
+		if err := EncodeChainTable(&buf, live); err != nil {
+			t.Fatalf("encoding a live table failed: %v", err)
+		}
+		decoded, err := DecodeChainTable(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode(encode(live)) failed: %v\n%s", err, buf.Bytes())
+		}
+		for i := 0; i < 256; i++ {
+			want := live.AppendTopK(nil, amo.Line(i), cfg.Successors)
+			got := decoded.AppendTopK(nil, amo.Line(i), cfg.Successors)
+			if len(want) != len(got) {
+				t.Fatalf("TopK(%d) diverges after round trip: %v vs %v", i, got, want)
+			}
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("TopK(%d) diverges after round trip: %v vs %v", i, got, want)
+				}
+			}
+		}
+		var again bytes.Buffer
+		if err := EncodeChainTable(&again, decoded); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+			t.Fatalf("re-encoding is not byte-stable:\n%s\nvs\n%s", buf.Bytes(), again.Bytes())
+		}
+	})
+}
+
+// FuzzChainDecodeRobust throws raw bytes at the strict decoder: it must
+// reject or produce a table whose canonical form round-trips — never
+// panic, never a partial table.
+func FuzzChainDecodeRobust(f *testing.F) {
+	f.Add([]byte(`{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": []}`))
+	f.Add([]byte(`{"schema": "ebcp.chain/v1", "entries": 8, "successors": 2, "rows": [{"trigger": 3, "succs": [{"line": 9, "count": 4}]}]}`))
+	f.Add([]byte(`{"schema": "ebcp.report/v1"}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := DecodeChainTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := EncodeChainTable(&buf, tab); err != nil {
+			t.Fatalf("accepted table fails to encode: %v", err)
+		}
+		if _, err := DecodeChainTable(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-encoded accepted table fails to decode: %v", err)
+		}
+	})
+}

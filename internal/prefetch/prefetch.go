@@ -93,6 +93,15 @@ type Stats struct {
 	// Redundant counts prefetch requests filtered because the line was
 	// already in the L2 or the prefetch buffer.
 	Redundant uint64
+	// Filtered counts prefetch requests an installed issue filter
+	// rejected (after the redundancy check, before memory traffic).
+	Filtered uint64
+	// SpecReads / SpecDrops count speculative off-chip reads launched by
+	// a latency predictor (Hermes-style early dispatch on an access that
+	// turned out on-chip): accepted / rejected by memory bandwidth. They
+	// buy no prefetch-buffer lines, only bus occupancy.
+	SpecReads uint64
+	SpecDrops uint64
 	// TableReads / TableWrites count correlation-table traffic to main
 	// memory (EBCP, Solihin), including dropped requests.
 	TableReads  uint64
@@ -108,6 +117,15 @@ func (s Stats) Accuracy(used uint64) float64 {
 	return float64(used) / float64(s.Issued)
 }
 
+// IssueFilter is the hook an adaptive prefetch filter (Filter) installs
+// on the Context: Prefetch consults it after the redundancy check, so a
+// rejection costs neither memory bandwidth nor a buffer slot. The
+// demand path never consults it — filtering can only drop prefetches.
+type IssueFilter interface {
+	// Admit reports whether the prefetch of line at cycle now may issue.
+	Admit(now uint64, line amo.Line) bool
+}
+
 // Context gives prefetchers access to the memory system and the prefetch
 // buffer, and accounts for their activity.
 type Context struct {
@@ -118,7 +136,8 @@ type Context struct {
 	// L2 is probed (without side effects) to filter redundant prefetches.
 	L2 *cache.Cache
 
-	stats Stats
+	filter IssueFilter
+	stats  Stats
 }
 
 // NewContext assembles a prefetch context.
@@ -143,6 +162,10 @@ func (c *Context) ResetStats() { c.stats = Stats{} }
 func (c *Context) Prefetch(now uint64, line amo.Line, tableIndex int64) bool {
 	if c.L2.Lookup(line) || c.Buffer.Contains(line) {
 		c.stats.Redundant++
+		return false
+	}
+	if c.filter != nil && !c.filter.Admit(now, line) {
+		c.stats.Filtered++
 		return false
 	}
 	completion, ok := c.Mem.Read(line, now, mem.PrefetchData)
@@ -173,6 +196,28 @@ func (c *Context) TableRead(now uint64, entry uint64) (completion uint64, ok boo
 func (c *Context) TableWrite(now uint64, entry uint64) bool {
 	c.stats.TableWrites++
 	return c.Mem.Write(amo.Line(entry), now, mem.TableWrite)
+}
+
+// SetFilter installs (or, with nil, removes) the issue filter Prefetch
+// consults. The simulator installs the filter at construction when the
+// prefetcher itself implements IssueFilter (the Filter wrapper does).
+func (c *Context) SetFilter(f IssueFilter) { c.filter = f }
+
+// SpeculativeRead charges a speculative off-chip read — a Hermes-style
+// early dispatch whose access turned out to be on-chip — against the
+// prefetch-data bandwidth class. Nothing lands in the prefetch buffer:
+// a false-positive dispatch buys pure bus occupancy. It reports whether
+// the interconnect accepted the read.
+//
+//ebcp:hotpath
+func (c *Context) SpeculativeRead(now uint64, line amo.Line) bool {
+	_, ok := c.Mem.Read(line, now, mem.PrefetchData)
+	if ok {
+		c.stats.SpecReads++
+	} else {
+		c.stats.SpecDrops++
+	}
+	return ok
 }
 
 // None is the no-op prefetcher used for baseline runs.

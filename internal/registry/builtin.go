@@ -71,6 +71,110 @@ type degreeParams struct {
 	Degree int `json:"degree"`
 }
 
+// chainParams parameterize the chaining correlation prefetcher. Zero
+// fields keep the tuned defaults (no knob has a meaningful zero).
+type chainParams struct {
+	Entries    int `json:"entries"`
+	Successors int `json:"successors"`
+	Window     int `json:"window"`
+	Degree     int `json:"degree"`
+}
+
+func newChain(params json.RawMessage, _ int) (prefetch.Prefetcher, error) {
+	p, err := decodeParams[chainParams]("chain", params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := prefetch.DefaultChainConfig()
+	if p.Entries != 0 {
+		cfg.Entries = p.Entries
+	}
+	if p.Successors != 0 {
+		cfg.Successors = p.Successors
+	}
+	if p.Window != 0 {
+		cfg.Window = p.Window
+	}
+	if p.Degree != 0 {
+		cfg.Degree = p.Degree
+	}
+	return prefetch.NewChain(cfg)
+}
+
+// hermesParams parameterize the perceptron off-chip predictor. Zero
+// fields keep the tuned defaults (no knob has a meaningful zero).
+type hermesParams struct {
+	TableBits           int    `json:"table_bits"`
+	ActivationThreshold int    `json:"activation_threshold"`
+	TrainingThreshold   int    `json:"training_threshold"`
+	EarlyCycles         uint64 `json:"early_cycles"`
+	HistoryBits         int    `json:"history_bits"`
+}
+
+func newHermes(params json.RawMessage, cores int) (prefetch.Prefetcher, error) {
+	p, err := decodeParams[hermesParams]("hermes", params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := prefetch.DefaultHermesConfig()
+	if p.TableBits != 0 {
+		cfg.TableBits = p.TableBits
+	}
+	if p.ActivationThreshold != 0 {
+		cfg.ActivationThreshold = p.ActivationThreshold
+	}
+	if p.TrainingThreshold != 0 {
+		cfg.TrainingThreshold = p.TrainingThreshold
+	}
+	if p.EarlyCycles != 0 {
+		cfg.EarlyCycles = p.EarlyCycles
+	}
+	if p.HistoryBits != 0 {
+		cfg.HistoryBits = p.HistoryBits
+	}
+	return prefetch.NewHermes(cfg, cores)
+}
+
+// filterParams parameterize the adaptive prefetch-filter wrapper (the
+// optional `filter` block of a spec's prefetcher reference). Pointer
+// fields distinguish "absent — keep the tuned default" from an explicit
+// zero: threshold_pct 0 meaningfully disables filtering.
+type filterParams struct {
+	TableEntries *int `json:"table_entries"`
+	ThresholdPct *int `json:"threshold_pct"`
+	Probe        *int `json:"probe"`
+	Retry        *int `json:"retry"`
+}
+
+// WrapFilter composes the adaptive prefetch filter over an already
+// constructed contender according to a spec's `filter` parameter block.
+// A nil block means "no filter" and returns pf unchanged; any non-nil
+// block (including `{}`, the tuned defaults) wraps. Unknown fields and
+// bad shapes are ErrInvalidConfig errors, like every parameter block.
+func WrapFilter(pf prefetch.Prefetcher, params json.RawMessage) (prefetch.Prefetcher, error) {
+	if params == nil {
+		return pf, nil
+	}
+	p, err := decodeParams[filterParams]("filter", params)
+	if err != nil {
+		return nil, err
+	}
+	cfg := prefetch.DefaultFilterConfig()
+	if p.TableEntries != nil {
+		cfg.TableEntries = *p.TableEntries
+	}
+	if p.ThresholdPct != nil {
+		cfg.ThresholdPct = *p.ThresholdPct
+	}
+	if p.Probe != nil {
+		cfg.Probe = *p.Probe
+	}
+	if p.Retry != nil {
+		cfg.Retry = *p.Retry
+	}
+	return prefetch.NewFilter(pf, cfg)
+}
+
 // streamParams parameterize the stream prefetcher.
 type streamParams struct {
 	Streams int `json:"streams"`
@@ -108,6 +212,14 @@ func builtinPrefetchers() map[string]PrefetcherEntry {
 		"ebcp": {
 			Name: "ebcp", Doc: "the epoch-based correlation prefetcher (tuned defaults; every knob overridable)",
 			New: newEBCP,
+		},
+		"chain": {
+			Name: "chain", Doc: "chaining correlation prefetcher: trigger→successor pairs, chains on prefetch hits",
+			New: newChain,
+		},
+		"hermes": {
+			Name: "hermes", Doc: "Hermes-style perceptron off-chip predictor (early dispatch, no address prefetching)",
+			New: newHermes,
 		},
 		"ghb-small": {
 			Name: "ghb-small", Doc: "global history buffer, 16K-entry index and buffer",

@@ -24,6 +24,8 @@ func TestBuiltinPrefetchersBuild(t *testing.T) {
 		"stream":    `{"streams": 32, "degree": 6}`,
 		"sms":       ``,
 		"solihin":   `{"depth": 6, "width": 1, "table_entries": 1048576}`,
+		"chain":     `{"entries": 65536, "successors": 8, "window": 4, "degree": 4}`,
+		"hermes":    `{"table_bits": 11, "activation_threshold": 8, "early_cycles": 24}`,
 	}
 	if got, want := len(PrefetcherNames()), len(cases); got < want {
 		t.Fatalf("PrefetcherNames() has %d entries, want at least %d", got, want)
@@ -93,6 +95,10 @@ func TestStrictParams(t *testing.T) {
 		{"none", `{"degree": 6}`},
 		{"sms", `{"streams": 4}`},
 		{"solihin", `{"depth": 6, "width": 1, "entries": 4}`},
+		{"chain", `{"widow": 4}`},
+		{"chain", `{"entries": 1000}`},
+		{"hermes", `{"tablebits": 11}`},
+		{"hermes", `{"table_bits": 99}`},
 	}
 	for _, c := range cases {
 		e, err := Prefetcher(c.name)
@@ -133,5 +139,40 @@ func TestRegisterExtension(t *testing.T) {
 	}
 	if err := RegisterWorkload(WorkloadEntry{Name: "Database"}); err == nil {
 		t.Error("workload registration without params factory succeeded")
+	}
+}
+
+// TestWrapFilter pins the filter block's contract: nil means no
+// wrapping, {} wraps with the tuned defaults, unknown fields and bad
+// shapes are strict ErrInvalidConfig rejections.
+func TestWrapFilter(t *testing.T) {
+	inner := prefetch.None{}
+	if pf, err := WrapFilter(inner, nil); err != nil || pf != prefetch.Prefetcher(inner) {
+		t.Errorf("WrapFilter(nil block) = (%v, %v), want the inner prefetcher unchanged", pf, err)
+	}
+	pf, err := WrapFilter(inner, json.RawMessage(`{}`))
+	if err != nil {
+		t.Fatalf("WrapFilter({}): %v", err)
+	}
+	if got := pf.Name(); got != "none+filter" {
+		t.Errorf("WrapFilter({}).Name() = %q, want %q", got, "none+filter")
+	}
+	if pf, err := WrapFilter(inner, json.RawMessage(`{"threshold_pct": 0}`)); err != nil {
+		t.Errorf("explicit threshold_pct 0 must be expressible: %v", err)
+	} else if pf.Name() != "none+filter" {
+		t.Errorf("threshold-0 wrap produced %q", pf.Name())
+	}
+	for _, bad := range []string{
+		`{"thresholdpct": 20}`,
+		`{"threshold_pct": 101}`,
+		`{"table_entries": 1000}`,
+		`{"probe": 0}`,
+		`{"retry": 0}`,
+	} {
+		if _, err := WrapFilter(inner, json.RawMessage(bad)); err == nil {
+			t.Errorf("WrapFilter(%s) accepted, want rejection", bad)
+		} else if !errors.Is(err, ebcperr.ErrInvalidConfig) {
+			t.Errorf("WrapFilter(%s) error not ErrInvalidConfig: %v", bad, err)
+		}
 	}
 }

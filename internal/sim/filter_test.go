@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"ebcp/internal/amo"
+	"ebcp/internal/mem"
+	"ebcp/internal/metrics"
+	"ebcp/internal/prefetch"
+	"ebcp/internal/workload"
+)
+
+// scaledCfg builds the short deterministic window the golden tests use.
+func scaledCfg(b workload.Params) Config {
+	cfg := DefaultConfig()
+	cfg.Core.OnChipCPI = b.OnChipCPI
+	cfg.WarmInsts, cfg.MeasureInsts = 300_000, 200_000
+	return cfg
+}
+
+// TestFilterThresholdZeroByteIdentity: a degree-0 (threshold 0) filter
+// admits everything, so the wrapped contender must produce a snapshot
+// byte-identical to running it unwrapped — across all four Table 1
+// workloads. Only the prefetcher label may differ.
+func TestFilterThresholdZeroByteIdentity(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cfg := scaledCfg(b)
+			zero := prefetch.DefaultFilterConfig()
+			zero.ThresholdPct = 0
+
+			bare := must(Run(must(workload.New(b)), must(prefetch.NewChain(prefetch.DefaultChainConfig())), cfg))
+			wrapped := must(Run(must(workload.New(b)),
+				must(prefetch.NewFilter(must(prefetch.NewChain(prefetch.DefaultChainConfig())), zero)), cfg))
+
+			sb, sw := bare.Snapshot(), wrapped.Snapshot()
+			if sw.Prefetcher != sb.Prefetcher+"+filter" {
+				t.Fatalf("wrapped run reports %q, want %q", sw.Prefetcher, sb.Prefetcher+"+filter")
+			}
+			sw.Prefetcher = sb.Prefetcher
+			var bufB, bufW bytes.Buffer
+			if err := metrics.WriteJSON(&bufB, sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := metrics.WriteJSON(&bufW, sw); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(bufB.Bytes(), bufW.Bytes()) {
+				t.Errorf("threshold-0 filter perturbed the simulation:\n%s\nvs\n%s", bufB.Bytes(), bufW.Bytes())
+			}
+		})
+	}
+}
+
+// denyAll wraps a prefetcher and vetoes every one of its prefetches via
+// the IssueFilter hook — the adversarial extreme of the adaptive filter.
+type denyAll struct{ inner prefetch.Prefetcher }
+
+func (d denyAll) Name() string                                    { return d.inner.Name() + "+deny" }
+func (d denyAll) OnAccess(a prefetch.Access, c *prefetch.Context) { d.inner.OnAccess(a, c) }
+func (denyAll) Admit(uint64, amo.Line) bool                       { return false }
+
+// TestFilterNeverDropsDemand: a filter that rejects every prefetch
+// leaves the demand stream untouched — the run is cycle-identical to
+// the no-prefetching baseline (the wrapped GHB is core-side, so its
+// only externally visible activity is the vetoed prefetches), and the
+// rejections are fully accounted in PF.Filtered.
+func TestFilterNeverDropsDemand(t *testing.T) {
+	for _, b := range workload.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			cfg := scaledCfg(b)
+			base := must(Run(must(workload.New(b)), prefetch.None{}, cfg))
+			denied := must(Run(must(workload.New(b)), denyAll{inner: must(prefetch.GHBSmall(6))}, cfg))
+
+			if denied.PF.Filtered == 0 {
+				t.Fatal("deny-all filter never fired — the wrapped GHB issued nothing")
+			}
+			if denied.PF.Issued != 0 || denied.PB.Inserts != 0 {
+				t.Fatalf("deny-all filter leaked prefetches: issued %d, inserts %d", denied.PF.Issued, denied.PB.Inserts)
+			}
+			if denied.Core.Cycles != base.Core.Cycles ||
+				denied.L2MissesLoad != base.L2MissesLoad ||
+				denied.L2MissesIFetch != base.L2MissesIFetch ||
+				denied.Mem.PerClass[mem.Demand].Reads != base.Mem.PerClass[mem.Demand].Reads {
+				t.Errorf("deny-all run diverged from the baseline: cycles %d vs %d, load misses %d vs %d",
+					denied.Core.Cycles, base.Core.Cycles, denied.L2MissesLoad, base.L2MissesLoad)
+			}
+		})
+	}
+}

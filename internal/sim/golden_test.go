@@ -88,6 +88,47 @@ func TestGoldenComparisonPrefetcher(t *testing.T) {
 	}
 }
 
+// TestGoldenFrontierContenders pins the frontier contenders — the
+// chaining correlation prefetcher and the Hermes off-chip predictor —
+// with the same exact-cycle discipline. For Hermes, the pinned counters
+// are cycles and speculative reads (it issues no prefetches: its effect
+// is early dispatch, visible as a cycle delta against the baseline).
+func TestGoldenFrontierContenders(t *testing.T) {
+	golden := []struct {
+		name                     string
+		chainCycles, chainHits   uint64
+		hermesCycles, hermesSpec uint64
+	}{
+		{"Database", 6926585, 38, 6730650, 3641},
+		{"SPECjbb2005", 4702842, 41, 4551191, 1740},
+	}
+	for _, g := range golden {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			b, err := workload.ByName(g.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := DefaultConfig()
+			cfg.Core.OnChipCPI = b.OnChipCPI
+			cfg.WarmInsts, cfg.MeasureInsts = 1e6, 2e6
+
+			chain := must(Run(must(workload.New(b)), must(prefetch.NewChain(prefetch.DefaultChainConfig())), cfg))
+			chainHits := chain.PB.Hits + chain.PB.PartialHits
+			hermes := must(Run(must(workload.New(b)), must(prefetch.NewHermes(prefetch.DefaultHermesConfig(), 1)), cfg))
+
+			if chain.Core.Cycles != g.chainCycles || chainHits != g.chainHits ||
+				hermes.Core.Cycles != g.hermesCycles || hermes.PF.SpecReads != g.hermesSpec {
+				t.Errorf("golden drift for %s / frontier:\n  got  {%q, %d, %d, %d, %d}\n  want {%q, %d, %d, %d, %d}\n"+
+					"if this change is intentional, update the golden table and re-validate EXPERIMENTS.md",
+					g.name,
+					g.name, chain.Core.Cycles, chainHits, hermes.Core.Cycles, hermes.PF.SpecReads,
+					g.name, g.chainCycles, g.chainHits, g.hermesCycles, g.hermesSpec)
+			}
+		})
+	}
+}
+
 // TestGoldenCMP pins a two-core CMP run (EBCP and the no-prefetching
 // baseline sharing the L2, as in the cmp experiment): per-lane cycle
 // counts and aggregate prefetch-buffer hits must not drift.

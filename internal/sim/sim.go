@@ -160,6 +160,13 @@ func (r Result) Accuracy() float64 {
 	return r.PF.Accuracy(r.PBHitsIFetch + r.PBHitsLoad)
 }
 
+// Timeliness returns on-time used prefetches / issued prefetches: full
+// prefetch-buffer hits only, excluding partial hits on lines still in
+// flight (a partial hit arrived too late to hide the whole latency).
+func (r Result) Timeliness() float64 {
+	return r.PF.Accuracy(r.PB.Hits)
+}
+
 // Improvement returns the overall performance improvement of this run
 // relative to a baseline run: CPIbase/CPI - 1 (the paper's primary
 // metric).
@@ -312,6 +319,13 @@ func (l *lane) resetStats() {
 type Runner struct {
 	cfg Config
 	pf  prefetch.Prefetcher
+	// ocp is non-nil when the prefetcher is an off-chip latency
+	// predictor (prefetch.OffChipPredictor): the demand path consults it
+	// on real misses and shortens the completion by the predicted
+	// dispatch headroom. Records that reach it run serialized even on a
+	// CMP (only L1 hits run ahead concurrently), so consulting it keeps
+	// runs deterministic.
+	ocp prefetch.OffChipPredictor
 
 	lane *lane
 	l2   *cache.Cache
@@ -346,16 +360,28 @@ func NewRunner(cfg Config, pf prefetch.Prefetcher) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{
+	ctx := prefetch.NewContext(m, pb, l2)
+	r := &Runner{
 		cfg:   cfg,
 		pf:    pf,
 		lane:  l0,
 		l2:    l2,
 		pb:    pb,
 		mem:   m,
-		ctx:   prefetch.NewContext(m, pb, l2),
+		ctx:   ctx,
 		batch: make([]trace.Record, 1024),
-	}, nil
+	}
+	// Contender capability hooks: an off-chip predictor shortens miss
+	// latency on the demand path; a filtering prefetcher vetoes issues
+	// inside Context.Prefetch. Plain contenders implement neither and
+	// the demand path is byte-identical to before the hooks existed.
+	if ocp, ok := pf.(prefetch.OffChipPredictor); ok {
+		r.ocp = ocp
+	}
+	if f, ok := pf.(prefetch.IssueFilter); ok {
+		ctx.SetFilter(f)
+	}
+	return r, nil
 }
 
 // Run executes warmup then measurement over the trace source and returns
@@ -594,6 +620,18 @@ func (r *Runner) stepRead(l *lane, rec trace.Record, line amo.Line) {
 			// Real off-chip miss.
 			issueAt := l.core.PrepareMiss(rec.DependsOnMiss, rec.Serializing)
 			completion, _ := r.mem.Read(line, issueAt, mem.Demand)
+			if r.ocp != nil && completion > issueAt {
+				// A predicted-off-chip access dispatched its memory read
+				// early: the predicted headroom comes off the miss latency
+				// (never below the issue cycle). False positives are
+				// charged by the predictor itself via SpeculativeRead.
+				if early := r.ocp.PredictOffChip(l.id, rec.PC, line, ifetch); early > 0 {
+					if early > completion-issueAt {
+						early = completion - issueAt
+					}
+					completion -= early
+				}
+			}
 			a.NewEpoch = l.core.Miss(completion, ifetch)
 			l.noteOutstanding(line)
 			r.l2fill(l, line, false)

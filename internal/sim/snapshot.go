@@ -65,6 +65,9 @@ func (r Result) Snapshot() metrics.Snapshot {
 			Issued:      r.PF.Issued,
 			Dropped:     r.PF.Dropped,
 			Redundant:   r.PF.Redundant,
+			Filtered:    r.PF.Filtered,
+			SpecReads:   r.PF.SpecReads,
+			SpecDrops:   r.PF.SpecDrops,
 			TableReads:  r.PF.TableReads,
 			TableWrites: r.PF.TableWrites,
 		},

@@ -26,9 +26,12 @@ import (
 	"ebcp/internal/metrics"
 )
 
-// SchemaV1 identifies version 1 of the experiment-spec shape. Any field
-// added, removed or renamed below requires a new schema string;
-// Decode rejects unknown fields precisely so drift fails loudly.
+// SchemaV1 identifies version 1 of the experiment-spec shape. Removing
+// or renaming any field below requires a new schema string; purely
+// additive optional fields (omitted by every existing document, like
+// the prefetcher filter block) extend v1 compatibly, because old specs
+// keep decoding byte-identically and old decoders reject new documents
+// loudly. Decode rejects unknown fields precisely so drift fails loudly.
 const SchemaV1 = "ebcp.spec/v1"
 
 // BenchPlaceholder is the substring of cell keys and per-benchmark row
@@ -111,10 +114,14 @@ type CellV1 struct {
 }
 
 // PrefetcherRefV1 is a registry reference: a name plus the constructor's
-// parameter block (strict-decoded by the registered factory).
+// parameter block (strict-decoded by the registered factory). A
+// non-nil Filter wraps the constructed contender in the adaptive
+// prefetch filter (registry.WrapFilter; `{}` takes the tuned filter
+// defaults), composable over any registered name.
 type PrefetcherRefV1 struct {
 	Name   string          `json:"name"`
 	Params json.RawMessage `json:"params,omitempty"`
+	Filter json.RawMessage `json:"filter,omitempty"`
 }
 
 // SimTweaksV1 overrides system-configuration knobs for one cell. Zero
@@ -156,6 +163,7 @@ var metricsV1 = map[string]struct {
 	"load_mpki":         {"sim", false},
 	"coverage_pct":      {"sim", false},
 	"accuracy_pct":      {"sim", false},
+	"timeliness_pct":    {"sim", false},
 	"improvement_pct":   {"sim", true},
 	"epi_reduction_pct": {"sim", true},
 	"speedup_pct":       {"cmp", true},
