@@ -14,21 +14,24 @@ vet:
 
 # Static analysis: go vet plus the repo's own analyzer suite
 # (internal/analysis, DESIGN.md §8 "Enforced invariants") — nopanic,
-# hotpathalloc, errwrap, determinism, servectx and specsync (registry
-# names vs committed spec files), with positioned
-# file:line:col: [check] diagnostics. This supersedes the old
-# grep-based lint-nopanic target.
+# hotpathalloc, errwrap, determinism, servectx, specsync, lanepurity,
+# codecstrict and staleallow, type-aware over a module-local go/types
+# loading layer, with positioned file:line:col: [check] diagnostics.
+# CI additionally budgets this at 60s on one core (BenchmarkLintModule
+# measures the same pipeline).
 lint: vet
 	go run ./cmd/ebcplint ./...
 
 # Statement-coverage floor for the measurement-critical packages: the
 # metrics layer (every report number flows through it), the simulator
-# core, and the prefetcher contenders (every reported delta comes from
-# one of them). A drop below 70% means new code shipped without tests.
+# core, the prefetcher contenders (every reported delta comes from one
+# of them), and the analyzer suite (a lint gate with untested paths is
+# a gate that silently stops gating). A drop below 70% means new code
+# shipped without tests.
 COVER_FLOOR := 70
 cover:
 	@fail=0; \
-	for pkg in ./internal/metrics ./internal/sim ./internal/prefetch; do \
+	for pkg in ./internal/metrics ./internal/sim ./internal/prefetch ./internal/analysis; do \
 		pct=$$(go test -cover $$pkg | awk '/coverage:/ { sub("%", "", $$5); print $$5 }'); \
 		if [ -z "$$pct" ]; then \
 			echo "cover: no coverage line for $$pkg (tests failed?)"; fail=1; \

@@ -25,45 +25,14 @@ import (
 	"ebcp/internal/metrics"
 )
 
-// Result is one parsed benchmark line.
-type Result struct {
-	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed
-	// (the suffix is recorded in Procs).
-	Name  string  `json:"name"`
-	Procs int     `json:"procs"`
-	Iters int64   `json:"iters"`
-	NsOp  float64 `json:"ns_per_op"`
-	// BytesOp/AllocsOp are present when the run used -benchmem.
-	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
-	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
-	// Metrics holds the custom b.ReportMetric columns keyed by unit
-	// (e.g. "Minsts/s", "workers", "db-CPI").
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Doc is the emitted file: a schema marker, enough machine context to
-// make later comparisons honest, then the results in input order.
-type Doc struct {
-	Schema    string `json:"schema"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	// HostNote is freeform context about the machine the numbers came
-	// from (-host-note: container limits, shared tenancy, CPU model).
-	// Cross-host comparisons are the main way a committed baseline
-	// misleads — see EXPERIMENTS.md's variance note — so the note rides
-	// in the document rather than in commit messages.
-	HostNote string   `json:"host_note,omitempty"`
-	Results  []Result `json:"results"`
-}
-
 func main() {
 	out := flag.String("o", "", "write JSON here (default stdout; benchmark text then echoes to stderr)")
 	hostNote := flag.String("host-note", "", "freeform machine context recorded as host_note (e.g. \"shared CI runner, 1 vCPU\")")
 	flag.Parse()
 
-	doc := Doc{
+	// The document types live in internal/metrics (BenchV1, next to the
+	// schema constant and canonical encoder); benchjson only fills them.
+	doc := metrics.BenchV1{
 		Schema:    metrics.BenchSchemaV1,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -114,16 +83,16 @@ func main() {
 //	BenchmarkFoo-8   1   123456 ns/op   9.81 MB/s   241.9 Minsts/s   5453 allocs/op
 //
 // The grammar after the iteration count is value-unit pairs.
-func parseLine(line string) (Result, bool) {
+func parseLine(line string) (metrics.BenchResultV1, bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
-		return Result{}, false
+		return metrics.BenchResultV1{}, false
 	}
 	iters, err := strconv.ParseInt(f[1], 10, 64)
 	if err != nil {
-		return Result{}, false
+		return metrics.BenchResultV1{}, false
 	}
-	r := Result{Name: f[0], Procs: 1, Iters: iters}
+	r := metrics.BenchResultV1{Name: f[0], Procs: 1, Iters: iters}
 	if i := strings.LastIndexByte(f[0], '-'); i > 0 {
 		if p, err := strconv.Atoi(f[0][i+1:]); err == nil {
 			r.Name, r.Procs = f[0][:i], p
@@ -133,7 +102,7 @@ func parseLine(line string) (Result, bool) {
 	for i := 2; i+1 < len(f); i += 2 {
 		v, err := strconv.ParseFloat(f[i], 64)
 		if err != nil {
-			return Result{}, false
+			return metrics.BenchResultV1{}, false
 		}
 		switch unit := f[i+1]; unit {
 		case "ns/op":

@@ -3,7 +3,6 @@ package main
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
@@ -87,8 +86,8 @@ func (d *daemon) metrics(t *testing.T) serve.StatsV1 {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st serve.StatsV1
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+	st, err := serve.DecodeStatsV1(resp.Body)
+	if err != nil {
 		t.Fatal(err)
 	}
 	return st

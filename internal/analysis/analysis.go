@@ -1,29 +1,40 @@
 // Package analysis is the repo's static-analysis driver: a stdlib-only
-// (go/parser, go/ast, go/token — no golang.org/x/tools) framework that
-// loads the module's packages syntactically and runs a set of analyzers
-// over them, reporting positioned diagnostics. It mechanically enforces
-// the invariants the previous PRs established by convention: library
-// code never panics, the annotated hot path never allocates, errors are
-// classified through ebcperr, and render/report paths are deterministic.
+// (go/parser, go/ast, go/token, go/types, go/importer — no
+// golang.org/x/tools) framework that loads the module's packages, type-
+// checks them in dependency order with a module-local importer
+// (typecheck.go), and runs a set of analyzers over them, reporting
+// positioned diagnostics. It mechanically enforces the invariants the
+// previous PRs established by convention: library code never panics,
+// the annotated hot path never allocates, errors are classified through
+// ebcperr, render/report paths are deterministic, the run-ahead lane
+// path never touches shared state, and every schema codec keeps its
+// strict-decode discipline.
 //
-// Two comment directives steer it (grammar documented in DESIGN.md §8):
+// Three comment directives steer it (grammar documented in DESIGN.md §8):
 //
 //	//ebcp:hotpath
 //	    In a function's doc comment: opts the function into the
 //	    hotpathalloc analyzer's allocation ban.
 //
+//	//ebcp:lanelocal
+//	    In a function's doc comment: declares the function part of the
+//	    CMP run-ahead lane-local proof surface. The lanepurity analyzer
+//	    walks the call graph reachable from every annotated function
+//	    and reports any touch of shared simulator state.
+//
 //	//ebcp:allow <check>[,<check>] <justification>
 //	    Suppresses the named checks. In a declaration's doc comment it
 //	    covers the whole declaration; inline it covers its own line and
 //	    the next. The justification is mandatory — an allow without one
-//	    is itself a diagnostic.
+//	    is itself a diagnostic — and an allow that suppresses nothing is
+//	    a [staleallow] diagnostic, so suppression debt cannot accumulate.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"sort"
+	"go/types"
 	"strings"
 )
 
@@ -44,11 +55,18 @@ func (d Diagnostic) String() string {
 // (slash-separated; "" for the root package). Analyzers scope their
 // rules on Rel, so testdata packages can be loaded under a virtual path
 // to exercise path-scoped rules.
+//
+// Types and Info are filled by the TypeChecker (typecheck.go); they are
+// nil when the package failed to type-check (the checker already
+// reported positioned [typecheck] diagnostics), and the type-aware
+// analyzers skip such packages instead of reading partial facts.
 type Pkg struct {
 	Fset  *token.FileSet
 	Rel   string
 	Name  string
 	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
 }
 
 // Analyzer is one check: it inspects a package and returns raw
@@ -58,80 +76,141 @@ type Analyzer interface {
 	Check(p *Pkg) []Diagnostic
 }
 
+// ModuleAnalyzer is an analyzer that needs the whole package set at
+// once — lanepurity walks a call graph that crosses package boundaries.
+// The driver calls CheckModule instead of per-package Check.
+type ModuleAnalyzer interface {
+	Analyzer
+	CheckModule(pkgs []*Pkg) []Diagnostic
+}
+
 // All returns every analyzer in the suite.
 func All() []Analyzer {
-	return []Analyzer{NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}, ServeCtx{}, SpecSync{}}
+	return []Analyzer{
+		NoPanic{}, HotpathAlloc{}, ErrWrap{}, Determinism{}, ServeCtx{}, SpecSync{},
+		LanePurity{}, CodecStrict{}, StaleAllow{},
+	}
 }
+
+// StaleAllow is the suppression-debt check: an //ebcp:allow directive
+// that suppressed zero diagnostics of its named checks is itself a
+// diagnostic, so dead suppressions cannot accumulate. The logic lives
+// in the driver (Run), which is the only place that knows what each
+// directive suppressed; this marker's presence in the analyzer list is
+// what switches the pass on, and a directive is only judged stale when
+// every check it names was part of the run (a partial run cannot tell).
+type StaleAllow struct{}
+
+// Name implements Analyzer.
+func (StaleAllow) Name() string { return "staleallow" }
+
+// Check implements Analyzer; the driver owns the actual pass.
+func (StaleAllow) Check(p *Pkg) []Diagnostic { return nil }
 
 // Run executes the analyzers over the packages, drops diagnostics
 // suppressed by //ebcp:allow directives, adds driver diagnostics for
-// malformed directives (an allow without a justification), and returns
-// the remainder sorted by position.
+// malformed directives (an allow without a justification) and for stale
+// directives (when StaleAllow is in the analyzer list), and returns the
+// remainder sorted by position.
 func Run(pkgs []*Pkg, analyzers []Analyzer) []Diagnostic {
 	var out []Diagnostic
+	allows := allowSet{}
 	for _, p := range pkgs {
-		allows, bad := collectAllows(p)
+		bad := collectAllows(p, allows)
 		out = append(out, bad...)
-		for _, a := range analyzers {
+	}
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		active[a.Name()] = true
+	}
+	emit := func(d Diagnostic) {
+		if dir := allows.match(d.Check, d.Pos); dir != nil {
+			dir.used = true
+			return
+		}
+		out = append(out, d)
+	}
+	for _, a := range analyzers {
+		if ma, ok := a.(ModuleAnalyzer); ok {
+			for _, d := range ma.CheckModule(pkgs) {
+				emit(d)
+			}
+			continue
+		}
+		for _, p := range pkgs {
 			for _, d := range a.Check(p) {
-				if !allows.suppressed(d.Check, d.Pos) {
-					out = append(out, d)
-				}
+				emit(d)
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
+	if active["staleallow"] {
+		for _, dirs := range allows {
+			for _, dir := range dirs {
+				if dir.used || !dir.typed {
+					continue
+				}
+				judgeable := true
+				for _, c := range dir.checks {
+					if !active[c] {
+						judgeable = false // that analyzer did not run; can't tell
+					}
+				}
+				if !judgeable {
+					continue
+				}
+				emit(Diagnostic{dir.pos, "staleallow",
+					fmt.Sprintf("ebcp:allow %s suppresses no diagnostics; delete it", strings.Join(dir.checks, ","))})
+			}
 		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		if a.Pos.Column != b.Pos.Column {
-			return a.Pos.Column < b.Pos.Column
-		}
-		return a.Check < b.Check
-	})
+	}
+	sortDiags(out)
 	return out
 }
 
 // allowDirective is the parsed form of one //ebcp:allow comment: the
-// checks it suppresses and the line span it covers within its file.
+// checks it suppresses, the line span it covers within its file, and
+// whether it actually suppressed anything this run (staleallow). typed
+// records whether the surrounding package type-checked: in a package
+// that didn't, the typed analyzers never ran, so an unused directive
+// there proves nothing and staleallow must not judge it.
 type allowDirective struct {
 	checks   []string
 	from, to int
+	pos      token.Position
+	used     bool
+	typed    bool
 }
 
-// allowSet holds every allow directive in a package, keyed by filename.
-type allowSet map[string][]allowDirective
+// allowSet holds every allow directive seen this run, keyed by filename.
+type allowSet map[string][]*allowDirective
 
-func (s allowSet) suppressed(check string, pos token.Position) bool {
+// match returns the first directive covering (check, pos), or nil.
+func (s allowSet) match(check string, pos token.Position) *allowDirective {
 	for _, d := range s[pos.Filename] {
 		if pos.Line < d.from || pos.Line > d.to {
 			continue
 		}
 		for _, c := range d.checks {
 			if c == check {
-				return true
+				return d
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 const (
-	allowPrefix   = "//ebcp:allow"
-	hotpathMarker = "//ebcp:hotpath"
+	allowPrefix     = "//ebcp:allow"
+	hotpathMarker   = "//ebcp:hotpath"
+	lanelocalMarker = "//ebcp:lanelocal"
 )
 
-// collectAllows parses every //ebcp:allow directive in the package. A
-// directive in a declaration's doc comment covers the declaration's
-// whole line span; anywhere else it covers its own line and the next.
-// Directives missing a check name or a justification come back as
-// driver diagnostics instead of silently suppressing nothing.
-func collectAllows(p *Pkg) (allowSet, []Diagnostic) {
-	set := allowSet{}
+// collectAllows parses every //ebcp:allow directive in the package into
+// set. A directive in a declaration's doc comment covers the
+// declaration's whole line span; anywhere else it covers its own line
+// and the next. Directives missing a check name or a justification come
+// back as driver diagnostics instead of silently suppressing nothing.
+func collectAllows(p *Pkg, set allowSet) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range p.Files {
 		docSpan := docSpans(p.Fset, f)
@@ -162,7 +241,7 @@ func collectAllows(p *Pkg) (allowSet, []Diagnostic) {
 						fmt.Sprintf("ebcp:allow %s needs a justification", fields[0])})
 					continue
 				}
-				d := allowDirective{checks: checks, from: pos.Line, to: pos.Line + 1}
+				d := &allowDirective{checks: checks, from: pos.Line, to: pos.Line + 1, pos: pos, typed: p.Info != nil}
 				if span, ok := docSpan[cg]; ok {
 					d.from, d.to = span[0], span[1]
 				}
@@ -170,7 +249,7 @@ func collectAllows(p *Pkg) (allowSet, []Diagnostic) {
 			}
 		}
 	}
-	return set, bad
+	return bad
 }
 
 // docSpans maps each top-level declaration's doc comment group to the
@@ -202,19 +281,27 @@ func docSpans(fset *token.FileSet, f *ast.File) map[*ast.CommentGroup][2]int {
 	return spans
 }
 
-// isHotpath reports whether a function declaration carries the
-// //ebcp:hotpath directive in its doc comment.
-func isHotpath(fn *ast.FuncDecl) bool {
+// hasMarker reports whether a function declaration carries the given
+// directive line in its doc comment.
+func hasMarker(fn *ast.FuncDecl, marker string) bool {
 	if fn.Doc == nil {
 		return false
 	}
 	for _, c := range fn.Doc.List {
-		if c.Text == hotpathMarker {
+		if c.Text == marker {
 			return true
 		}
 	}
 	return false
 }
+
+// isHotpath reports whether a function declaration carries the
+// //ebcp:hotpath directive in its doc comment.
+func isHotpath(fn *ast.FuncDecl) bool { return hasMarker(fn, hotpathMarker) }
+
+// isLaneLocal reports whether a function declaration carries the
+// //ebcp:lanelocal directive in its doc comment.
+func isLaneLocal(fn *ast.FuncDecl) bool { return hasMarker(fn, lanelocalMarker) }
 
 // importNames maps each local import name in a file to its import path,
 // and reports the paths that are dot-imported. A plain `import "os"`

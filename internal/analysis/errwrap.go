@@ -16,6 +16,11 @@ import (
 // is where sentinels like ErrBadMagic live — so only function bodies
 // are scanned. The ebcperr package itself is exempt: it is the root of
 // the taxonomy.
+//
+// The check resolves callees through go/types, so it recognizes the
+// actual errors.New and fmt.Errorf functions (and their error-typed
+// results) under import aliases and dot-imports, and never fires on a
+// local function that merely shares the name.
 type ErrWrap struct{}
 
 // Name implements Analyzer.
@@ -29,9 +34,11 @@ func (ErrWrap) Check(p *Pkg) []Diagnostic {
 	if p.Rel == "internal/ebcperr" {
 		return nil
 	}
+	if p.Info == nil {
+		return nil // failed to type-check; already reported by the driver
+	}
 	var out []Diagnostic
 	for _, f := range p.Files {
-		named, _ := importNames(f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
@@ -42,11 +49,15 @@ func (ErrWrap) Check(p *Pkg) []Diagnostic {
 				if !ok {
 					return true
 				}
-				if selectorOn(call.Fun, named, "errors", "New") {
+				path, name, ok := calleePkgFunc(p.Info, call)
+				if !ok {
+					return true
+				}
+				if path == "errors" && name == "New" {
 					out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "errwrap",
 						"errors.New inside a function is unclassifiable; use an ebcperr constructor or wrap a sentinel with %w"})
 				}
-				if selectorOn(call.Fun, named, "fmt", "Errorf") && len(call.Args) > 0 {
+				if path == "fmt" && name == "Errorf" && len(call.Args) > 0 {
 					if lit, ok := call.Args[0].(*ast.BasicLit); ok && !strings.Contains(lit.Value, "%w") {
 						out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "errwrap",
 							"fmt.Errorf without %w is unclassifiable; use an ebcperr constructor or wrap with %w"})

@@ -3,12 +3,13 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // HotpathAlloc enforces the steady-state allocation contract (PR 2,
 // locked at runtime by TestSteadyStateAllocs): a function annotated
-// //ebcp:hotpath may not contain the syntactic allocation sources that
-// would put garbage on the per-record path —
+// //ebcp:hotpath may not contain the allocation sources that would put
+// garbage on the per-record path —
 //
 //   - make / new calls
 //   - map and slice composite literals (struct and fixed-array literals
@@ -18,10 +19,14 @@ import (
 //     an //ebcp:allow hotpathalloc with the amortization argument)
 //   - closures capturing locals (the captured variable escapes)
 //   - string <-> []byte conversions (each one copies)
+//   - conversions of a concrete value to an interface type (the value
+//     is boxed onto the heap)
 //   - fmt calls (every operand is boxed into an interface)
 //
 // The analyzer is annotation-driven: it fires only inside functions the
-// author declared hot, wherever they live.
+// author declared hot, wherever they live. Conversions and literals
+// resolve through go/types, so named map/slice/byte-slice types and
+// interface boxing the syntactic pass could not see are caught too.
 type HotpathAlloc struct{}
 
 // Name implements Analyzer.
@@ -29,21 +34,23 @@ func (HotpathAlloc) Name() string { return "hotpathalloc" }
 
 // Check implements Analyzer.
 func (HotpathAlloc) Check(p *Pkg) []Diagnostic {
+	if p.Info == nil {
+		return nil // failed to type-check; already reported by the driver
+	}
 	var out []Diagnostic
 	for _, f := range p.Files {
-		named, _ := importNames(f)
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || !isHotpath(fn) || fn.Body == nil {
 				continue
 			}
-			out = append(out, checkHotFunc(p, fn, named)...)
+			out = append(out, checkHotFunc(p, fn)...)
 		}
 	}
 	return out
 }
 
-func checkHotFunc(p *Pkg, fn *ast.FuncDecl, named map[string]string) []Diagnostic {
+func checkHotFunc(p *Pkg, fn *ast.FuncDecl) []Diagnostic {
 	var out []Diagnostic
 	diag := func(pos token.Pos, msg string) {
 		out = append(out, Diagnostic{p.Fset.Position(pos), "hotpathalloc", msg})
@@ -59,34 +66,31 @@ func checkHotFunc(p *Pkg, fn *ast.FuncDecl, named map[string]string) []Diagnosti
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Obj == nil {
-				switch id.Name {
+			if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+				out = append(out, checkHotConversion(p, n, tv.Type)...)
+				return true
+			}
+			switch obj := calleeObject(p.Info, n).(type) {
+			case *types.Builtin:
+				switch obj.Name() {
 				case "make", "new":
-					diag(n.Pos(), "hot path must not call "+id.Name)
+					diag(n.Pos(), "hot path must not call "+obj.Name())
 				case "append":
 					if len(n.Args) > 0 && !isParamSlice(n.Args[0], params) {
 						diag(n.Pos(), "hot path append target is not a parameter slice")
 					}
-				case "string":
-					diag(n.Pos(), "hot path string(...) conversion copies")
 				}
-			}
-			if at, ok := n.Fun.(*ast.ArrayType); ok && at.Len == nil {
-				if elt, ok := at.Elt.(*ast.Ident); ok && (elt.Name == "byte" || elt.Name == "rune") {
-					diag(n.Pos(), "hot path []"+elt.Name+"(...) conversion copies")
-				}
-			}
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
-				if base, ok := sel.X.(*ast.Ident); ok && base.Obj == nil && named[base.Name] == "fmt" {
-					diag(n.Pos(), "hot path fmt."+sel.Sel.Name+" boxes its operands")
+			case *types.Func:
+				if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+					diag(n.Pos(), "hot path fmt."+obj.Name()+" boxes its operands")
 				}
 			}
 		case *ast.CompositeLit:
-			switch t := n.Type.(type) {
-			case *ast.MapType:
-				diag(n.Pos(), "hot path map literal allocates")
-			case *ast.ArrayType:
-				if t.Len == nil {
+			if tv, ok := p.Info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					diag(n.Pos(), "hot path map literal allocates")
+				case *types.Slice:
 					diag(n.Pos(), "hot path slice literal allocates")
 				}
 			}
@@ -98,6 +102,56 @@ func checkHotFunc(p *Pkg, fn *ast.FuncDecl, named map[string]string) []Diagnosti
 		}
 		return true
 	})
+	return out
+}
+
+// checkHotConversion flags conversions that copy or box: to string, to
+// a byte/rune slice, or from a concrete type to an interface.
+func checkHotConversion(p *Pkg, call *ast.CallExpr, dst types.Type) []Diagnostic {
+	var out []Diagnostic
+	diag := func(msg string) {
+		out = append(out, Diagnostic{p.Fset.Position(call.Pos()), "hotpathalloc", msg})
+	}
+	var src types.Type
+	if len(call.Args) == 1 {
+		src = p.Info.Types[call.Args[0]].Type
+	}
+	srcBasic := func(kind types.BasicInfo) bool {
+		if src == nil {
+			return false
+		}
+		b, ok := src.Underlying().(*types.Basic)
+		return ok && b.Info()&kind != 0
+	}
+	switch d := dst.Underlying().(type) {
+	case *types.Basic:
+		// string(x) copies unless x is already a string (a named-type
+		// re-label, free at runtime).
+		if d.Info()&types.IsString != 0 && !srcBasic(types.IsString) {
+			diag("hot path string(...) conversion copies")
+		}
+	case *types.Slice:
+		// []byte(s) / []rune(s) from a string copy; slice-to-slice
+		// re-labels don't.
+		if elem, ok := d.Elem().Underlying().(*types.Basic); ok && srcBasic(types.IsString) {
+			switch elem.Kind() {
+			case types.Byte:
+				diag("hot path []byte(...) conversion copies")
+			case types.Rune:
+				diag("hot path []rune(...) conversion copies")
+			}
+		}
+	case *types.Interface:
+		if src == nil {
+			break
+		}
+		if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			break // I(nil) stores no value; nothing is boxed
+		}
+		if _, ok := src.Underlying().(*types.Interface); !ok {
+			diag("hot path interface conversion boxes its operand")
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LanePurity statically enforces the CMP run-ahead engine's
+// parallel≡sequential proof obligation (DESIGN.md §9): a lane may only
+// run ahead of the bus through records its laneLocal predicate vouches
+// for, and that predicate — plus everything it calls — must therefore
+// never read or write state shared across lanes. The differential test
+// checks this dynamically for the traces it happens to run; lanepurity
+// checks it for every path.
+//
+// Functions carrying //ebcp:lanelocal in their doc comment are the
+// roots. The analyzer walks the static call graph reachable from them
+// (across package boundaries, via go/types object identity) and reports
+//
+//   - any selector on a value of shared simulator state — mem.System,
+//     corrtab.Table, cache.PrefetchBuffer, metrics.Registry — whether a
+//     field read, field write, or method call;
+//   - any dynamic call (interface method, func value): its target is
+//     unknowable statically, so purity is unprovable and the code must
+//     be restructured to use direct calls;
+//   - an empty proof surface: if internal/sim is present but no
+//     function anywhere is annotated, the annotation set has rotted and
+//     the check would be vacuously green.
+//
+// Packages that failed to type-check are skipped here — the driver
+// already reported them — so a broken build cannot masquerade as a
+// purity proof.
+type LanePurity struct{}
+
+// Name implements Analyzer.
+func (LanePurity) Name() string { return "lanepurity" }
+
+// Check implements Analyzer; lanepurity runs module-wide (CheckModule).
+func (LanePurity) Check(p *Pkg) []Diagnostic { return nil }
+
+// sharedStateTypes is the cross-lane mutable state of the simulator,
+// keyed by "pkgpath.TypeName" with the short name used in messages.
+var sharedStateTypes = map[string]string{
+	"ebcp/internal/mem.System":           "mem.System",
+	"ebcp/internal/corrtab.Table":        "corrtab.Table",
+	"ebcp/internal/cache.PrefetchBuffer": "cache.PrefetchBuffer",
+	"ebcp/internal/metrics.Registry":     "metrics.Registry",
+}
+
+// laneFunc is one function declaration the walker can traverse into.
+type laneFunc struct {
+	decl *ast.FuncDecl
+	pkg  *Pkg
+}
+
+// CheckModule implements ModuleAnalyzer.
+func (LanePurity) CheckModule(pkgs []*Pkg) []Diagnostic {
+	// Index every function body in the module by its types.Func object,
+	// and collect the //ebcp:lanelocal roots.
+	index := map[*types.Func]laneFunc{}
+	var roots []*types.Func
+	var simPkg *Pkg
+	for _, p := range pkgs {
+		if p.Rel == "internal/sim" {
+			simPkg = p
+		}
+		if p.Info == nil {
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[obj] = laneFunc{fn, p}
+				if isLaneLocal(fn) {
+					roots = append(roots, obj)
+				}
+			}
+		}
+	}
+	var out []Diagnostic
+	if len(roots) == 0 {
+		if simPkg != nil && len(simPkg.Files) > 0 {
+			out = append(out, Diagnostic{simPkg.Fset.Position(simPkg.Files[0].Package), "lanepurity",
+				"internal/sim declares no //ebcp:lanelocal functions; the lane-purity surface is empty"})
+		}
+		return out
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].FullName() < roots[j].FullName() })
+
+	// BFS from the roots. Each queue entry remembers which annotated root
+	// it is reachable from, so diagnostics in unannotated helpers name
+	// the root that drags them onto the proof surface (first root wins
+	// when several reach the same helper; roots are walked in sorted
+	// order, so attribution is deterministic).
+	visited := map[*types.Func]bool{}
+	type laneItem struct {
+		fn   *types.Func
+		root string
+	}
+	queue := make([]laneItem, 0, len(roots))
+	for _, r := range roots {
+		queue = append(queue, laneItem{r, r.Name()})
+	}
+	for len(queue) > 0 {
+		item := queue[0]
+		queue = queue[1:]
+		if visited[item.fn] {
+			continue
+		}
+		visited[item.fn] = true
+		node := index[item.fn]
+		out = append(out, walkLaneFunc(node, item.root, func(callee *types.Func) {
+			if !visited[callee] {
+				queue = append(queue, laneItem{callee, item.root})
+			}
+		}, index)...)
+	}
+	return out
+}
+
+// walkLaneFunc scans one reachable function body for shared-state
+// touches and unprovable calls, handing static module-local callees to
+// enqueue for traversal. root is the //ebcp:lanelocal function this
+// body is reachable from, named in every diagnostic.
+func walkLaneFunc(node laneFunc, root string, enqueue func(*types.Func), index map[*types.Func]laneFunc) []Diagnostic {
+	p, fn := node.pkg, node.decl
+	var out []Diagnostic
+	diag := func(n ast.Node, format string, args ...any) {
+		out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "lanepurity", fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Any selector whose base is shared state: field read, field
+			// write, or method call alike.
+			if tv, ok := p.Info.Types[n.X]; ok {
+				if short, shared := sharedStateTypes[namedTypeKey(tv.Type)]; shared {
+					diag(n, "lane-local path touches shared %s.%s (reachable from //ebcp:lanelocal %s)",
+						short, n.Sel.Name, root)
+				}
+			}
+		case *ast.CallExpr:
+			if tv, ok := p.Info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion, not a call
+			}
+			switch obj := calleeObject(p.Info, n).(type) {
+			case *types.Func:
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if _, iface := sig.Recv().Type().Underlying().(*types.Interface); iface {
+						diag(n, "lane-local path calls interface method %s dynamically; lane purity is unprovable", obj.Name())
+						return true
+					}
+					if _, shared := sharedStateTypes[namedTypeKey(sig.Recv().Type())]; shared {
+						return true // the selector on the shared receiver is already flagged
+					}
+				}
+				if _, inModule := index[obj]; inModule {
+					enqueue(obj)
+					return true
+				}
+				if obj.Pkg() != nil && isModulePath(obj.Pkg().Path()) {
+					// A module function whose body is not in this run's package
+					// set (its package failed type-checking): purity is
+					// unprovable.
+					diag(n, "lane-local path calls %s whose body is unavailable; lane purity is unprovable", obj.FullName())
+				}
+				// Standard-library callee: it cannot name module state, and
+				// shared values passed to it are caught at the selector that
+				// produced them.
+			case *types.Var:
+				diag(n, "lane-local path calls func value %s dynamically; lane purity is unprovable", obj.Name())
+			case *types.Builtin, *types.TypeName, *types.Nil:
+				// builtins and conversions allocate nothing shared
+			default:
+				if _, lit := unparen(n.Fun).(*ast.FuncLit); lit {
+					return true // the literal's body is inside fn.Body and scanned here
+				}
+				diag(n, "lane-local path makes an unresolvable call; lane purity is unprovable")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isModulePath reports whether an import path belongs to this module
+// (or a fixture registered against it).
+func isModulePath(path string) bool {
+	return path == "ebcp" || len(path) > 5 && path[:5] == "ebcp/" ||
+		path == "fixture" || len(path) > 8 && path[:8] == "fixture/"
+}

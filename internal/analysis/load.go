@@ -68,9 +68,15 @@ func skipDir(name string) bool {
 }
 
 // LoadModule loads every package under the module root, in sorted
-// directory order.
+// directory order, into a fresh FileSet. Callers that will type-check
+// must use LoadModuleFset with the TypeChecker's FileSet instead.
 func LoadModule(root string) ([]*Pkg, error) {
-	fset := token.NewFileSet()
+	return LoadModuleFset(token.NewFileSet(), root)
+}
+
+// LoadModuleFset loads every package under the module root into fset,
+// in sorted directory order.
+func LoadModuleFset(fset *token.FileSet, root string) ([]*Pkg, error) {
 	var pkgs []*Pkg
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -140,16 +146,26 @@ func hotpathFuncs(p *Pkg) []*ast.FuncDecl {
 }
 
 // RunModule is the one-call entry point used by cmd/ebcplint and the
-// self-check test: load the module rooted above dir and run the full
-// analyzer suite.
+// self-check test: load the module rooted above dir, type-check it, and
+// run the full analyzer suite. Packages that fail type-checking come
+// back as positioned [typecheck] diagnostics (so ebcplint exits
+// non-zero) while the rest of the suite still runs over the packages
+// that did check.
 func RunModule(dir string) ([]Diagnostic, error) {
 	root, err := FindModuleRoot(dir)
 	if err != nil {
 		return nil, err
 	}
-	pkgs, err := LoadModule(root)
+	tc, err := NewTypeChecker(root)
 	if err != nil {
 		return nil, err
 	}
-	return Run(pkgs, All()), nil
+	pkgs, err := LoadModuleFset(tc.Fset(), root)
+	if err != nil {
+		return nil, err
+	}
+	diags := tc.CheckModule(pkgs)
+	diags = append(diags, Run(pkgs, All())...)
+	sortDiags(diags)
+	return diags, nil
 }

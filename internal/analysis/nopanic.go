@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 	"strings"
 )
 
@@ -12,21 +13,35 @@ import (
 // (anything under cmd/ and any package main, which includes examples/)
 // are exempt: exiting is their job.
 //
-// Unlike the grep gate it replaces, this is AST-based: it also catches
-// method values (`f := os.Exit`), aliased imports (`import o "os"`) and
-// dot-imports (`import . "os"; Exit(1)`), and it does not fire on the
-// word "panic" in comments or strings.
+// The check is type-aware: every identifier resolves through go/types,
+// so method values (`f := os.Exit`), aliased imports (`import o "os"`),
+// dot-imports and shadowing all fall out of object identity instead of
+// name heuristics — a local function named Exit is not os.Exit, and a
+// local variable named panic is not the builtin.
 type NoPanic struct{}
 
 // Name implements Analyzer.
 func (NoPanic) Name() string { return "nopanic" }
 
-// fatalFuncs maps import path → function names that terminate the
+// fatalFuncs maps package path → function names that terminate the
 // process. Referencing one at all (call or method value) is a
 // diagnostic.
-var fatalFuncs = map[string][]string{
-	"os":  {"Exit"},
-	"log": {"Fatal", "Fatalf", "Fatalln", "Panic", "Panicf", "Panicln"},
+var fatalFuncs = map[string]map[string]bool{
+	"os":  {"Exit": true},
+	"log": {"Fatal": true, "Fatalf": true, "Fatalln": true, "Panic": true, "Panicf": true, "Panicln": true},
+}
+
+// isFatalFunc reports whether obj is one of the process-terminating
+// functions.
+func isFatalFunc(obj types.Object) (pkg, name string, ok bool) {
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if names, found := fatalFuncs[fn.Pkg().Path()]; found && names[fn.Name()] {
+		return fn.Pkg().Path(), fn.Name(), true
+	}
+	return "", "", false
 }
 
 // Check implements Analyzer.
@@ -34,51 +49,41 @@ func (NoPanic) Check(p *Pkg) []Diagnostic {
 	if p.Name == "main" || p.Rel == "cmd" || strings.HasPrefix(p.Rel, "cmd/") {
 		return nil
 	}
+	if p.Info == nil {
+		return nil // failed to type-check; already reported by the driver
+	}
 	var out []Diagnostic
 	for _, f := range p.Files {
-		named, dot := importNames(f)
-		var walk func(n ast.Node) bool
-		walk = func(n ast.Node) bool {
+		// Selector uses (os.Exit, o.Exit, log.Fatalf as a method value)
+		// report once at the selector; their Sel idents are skipped below
+		// so one reference yields one diagnostic.
+		viaSelector := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
-			case *ast.CallExpr:
-				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && id.Obj == nil {
+			case *ast.SelectorExpr:
+				if path, name, ok := isFatalFunc(p.Info.Uses[n.Sel]); ok {
+					viaSelector[n.Sel] = true
+					out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
+						fmt.Sprintf("library code must not reference %s.%s", path, name)})
+				}
+			case *ast.Ident:
+				if viaSelector[n] {
+					return true
+				}
+				obj := p.Info.Uses[n]
+				if b, ok := obj.(*types.Builtin); ok && b.Name() == "panic" {
 					out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
 						"library code must return a typed error, not panic"})
 				}
-			case *ast.SelectorExpr:
-				for path, names := range fatalFuncs {
-					for _, name := range names {
-						if selectorOn(n, named, path, name) {
-							out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
-								fmt.Sprintf("library code must not reference %s.%s", path, name)})
-						}
-					}
-				}
-				// Walk only the base: n.Sel is a field/method name, not a
-				// bare identifier, and must not trip the dot-import check.
-				ast.Inspect(n.X, walk)
-				return false
-			case *ast.Ident:
-				// Dot-imports: a bare unresolved Exit/Fatal* identifier in a
-				// file that dot-imports os or log is the same call in disguise.
-				if n.Obj != nil {
-					return true
-				}
-				for path, names := range fatalFuncs {
-					if !dot[path] {
-						continue
-					}
-					for _, name := range names {
-						if n.Name == name {
-							out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
-								fmt.Sprintf("library code must not reference %s.%s (dot-imported)", path, name)})
-						}
-					}
+				if path, name, ok := isFatalFunc(obj); ok {
+					// A bare fatal identifier means the package was
+					// dot-imported: same call, no package prefix.
+					out = append(out, Diagnostic{p.Fset.Position(n.Pos()), "nopanic",
+						fmt.Sprintf("library code must not reference %s.%s (dot-imported)", path, name)})
 				}
 			}
 			return true
-		}
-		ast.Inspect(f, walk)
+		})
 	}
 	return out
 }

@@ -1,0 +1,25 @@
+// Fake fuzz targets for rule B: FuzzGood covers GoodSchemaV1 through
+// decodeStrict and has a committed corpus; FuzzNoCorpus references
+// NoCorpusSchemaV1 directly but ships no seeds, which is exactly the
+// violation the fixture wants. The package loader skips _test.go files,
+// so this file is parsed by the analyzer alone and never type-checked.
+package codec
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzGood(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeStrict(bytes.NewReader(data))
+	})
+}
+
+func FuzzNoCorpus(f *testing.F) {
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if string(data) != NoCorpusSchemaV1 {
+			t.Skip()
+		}
+	})
+}

@@ -1,0 +1,79 @@
+// Package sim is a lanepurity fixture loaded under the virtual path
+// internal/sim: //ebcp:lanelocal roots that touch shared simulator
+// state directly, transitively and dynamically, plus the suppressed and
+// clean shapes the analyzer must leave alone. The shared types are the
+// real module packages — the fixture type-checks against them through
+// the module-local importer.
+package sim
+
+import (
+	"ebcp/internal/amo"
+	"ebcp/internal/corrtab"
+	"ebcp/internal/metrics"
+)
+
+type lane struct {
+	clock uint64
+	tab   *corrtab.Table
+	reg   *metrics.Registry
+}
+
+// direct touches the shared correlation table from the root itself.
+//
+//ebcp:lanelocal
+func direct(l *lane, key amo.Line) []amo.Line {
+	return l.tab.Lookup(key) // want `\[lanepurity\] lane-local path touches shared corrtab\.Table\.Lookup \(reachable from //ebcp:lanelocal direct\)`
+}
+
+// transitive reaches shared state only through an unannotated helper:
+// the call-graph walk must follow it.
+//
+//ebcp:lanelocal
+func transitive(l *lane) {
+	scrub(l.reg)
+}
+
+func scrub(r *metrics.Registry) {
+	r.Reset() // want `\[lanepurity\] lane-local path touches shared metrics\.Registry\.Reset \(reachable from //ebcp:lanelocal transitive\)`
+}
+
+// viaFunc calls through a func value: the target is unknowable
+// statically, so purity is unprovable.
+//
+//ebcp:lanelocal
+func viaFunc(probe func() bool) bool {
+	return probe() // want `\[lanepurity\] lane-local path calls func value probe dynamically; lane purity is unprovable`
+}
+
+type prober interface {
+	Probe(key amo.Line) bool
+}
+
+// viaIface calls through an interface method: same story.
+//
+//ebcp:lanelocal
+func viaIface(p prober, key amo.Line) bool {
+	return p.Probe(key) // want `\[lanepurity\] lane-local path calls interface method Probe dynamically; lane purity is unprovable`
+}
+
+// sanctioned demonstrates the suppression path: a shared touch with a
+// justified //ebcp:allow is accepted (and counts as used, so the
+// staleallow pass stays quiet).
+//
+//ebcp:lanelocal
+func sanctioned(l *lane) int {
+	return l.tab.Occupancy() //ebcp:allow lanepurity fixture: read-only occupancy probe, demonstrates a justified exception
+}
+
+// clean is the shape laneLocal actually has: pure arithmetic over
+// lane-private state, calling only other lane-local helpers.
+//
+//ebcp:lanelocal
+func clean(l *lane, key amo.Line) bool {
+	return mix(uint64(key))&1 == 0 && l.clock > 0
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	return x * 0x9e3779b97f4a7c15
+}

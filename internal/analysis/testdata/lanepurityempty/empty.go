@@ -1,0 +1,8 @@
+// Package sim is the empty-surface lanepurity fixture: a package loaded
+// under the virtual path internal/sim with no //ebcp:lanelocal
+// annotations anywhere. The analyzer must flag the vacuum itself —
+// a deleted annotation set would otherwise make the check silently
+// green forever.
+package sim // want `\[lanepurity\] internal/sim declares no //ebcp:lanelocal functions; the lane-purity surface is empty`
+
+func stillHere() int { return 1 }

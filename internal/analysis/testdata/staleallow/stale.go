@@ -1,0 +1,28 @@
+// Package stale is the staleallow fixture, loaded under a virtual
+// internal/ path: an allow that suppresses nothing (the diagnostic), an
+// allow kept dormant on purpose by naming staleallow itself (the escape
+// hatch), and an allow that still earns its keep (left alone).
+package stale
+
+// formerPanicker stopped panicking long ago; its allow now suppresses
+// nothing and is itself the diagnostic, anchored at the directive.
+//
+//ebcp:allow nopanic historical: re-panicked on corrupt input before the v1 decoder rewrite // want `\[staleallow\] ebcp:allow nopanic suppresses no diagnostics; delete it`
+func formerPanicker() int { return 0 }
+
+// dormant keeps a dormant suppression deliberately: naming staleallow
+// alongside the original check is the explicit, justified opt-out, and
+// the directive suppresses its own staleness report.
+//
+//ebcp:allow nopanic,staleallow acknowledged: kept dormant pending the tolerant-decoder removal
+func dormant() int { return 1 }
+
+// stillPanics genuinely needs its allow — it suppresses a live nopanic
+// diagnostic — so the staleallow pass leaves it alone.
+//
+//ebcp:allow nopanic fixture: demonstrates a live suppression
+func stillPanics(corrupt bool) {
+	if corrupt {
+		panic("fixture")
+	}
+}

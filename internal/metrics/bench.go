@@ -1,0 +1,62 @@
+// ebcp.bench/v1: the committed performance-baseline document that
+// cmd/benchjson writes (BENCH_throughput.json). The types live here,
+// next to BenchSchemaV1 and the canonical encoder, so the schema has
+// one home: benchjson encodes BenchV1 through WriteJSON, and any tool
+// comparing baselines decodes it strictly through DecodeBenchV1.
+
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+
+	"ebcp/internal/ebcperr"
+)
+
+// BenchResultV1 is one parsed benchmark line.
+type BenchResultV1 struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed
+	// (the suffix is recorded in Procs).
+	Name  string  `json:"name"`
+	Procs int     `json:"procs"`
+	Iters int64   `json:"iters"`
+	NsOp  float64 `json:"ns_per_op"`
+	// BytesOp/AllocsOp are present when the run used -benchmem.
+	BytesOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp *float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds the custom b.ReportMetric columns keyed by unit
+	// (e.g. "Minsts/s", "workers", "db-CPI").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// BenchV1 is the emitted file: a schema marker, enough machine context
+// to make later comparisons honest, then the results in input order.
+type BenchV1 struct {
+	Schema    string `json:"schema"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// HostNote is freeform context about the machine the numbers came
+	// from (benchjson -host-note: container limits, shared tenancy, CPU
+	// model). Cross-host comparisons are the main way a committed
+	// baseline misleads — see EXPERIMENTS.md's variance note — so the
+	// note rides in the document rather than in commit messages.
+	HostNote string          `json:"host_note,omitempty"`
+	Results  []BenchResultV1 `json:"results"`
+}
+
+// DecodeBenchV1 parses a baseline document, rejecting unknown fields
+// and any schema string other than BenchSchemaV1.
+func DecodeBenchV1(r io.Reader) (BenchV1, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc BenchV1
+	if err := dec.Decode(&doc); err != nil {
+		return BenchV1{}, ebcperr.Wrap(ebcperr.ErrBadReport, "metrics: decoding bench baseline: %v", err)
+	}
+	if doc.Schema != BenchSchemaV1 {
+		return BenchV1{}, ebcperr.Wrap(ebcperr.ErrBadReport, "metrics: unsupported bench schema %q (want %q)", doc.Schema, BenchSchemaV1)
+	}
+	return doc, nil
+}

@@ -1,0 +1,64 @@
+package metrics
+
+// Robustness fuzzing for the two schema codecs this package owns,
+// following the corrtab/chain fuzz idiom: arbitrary bytes must come
+// back as a clean error or a document that round-trips byte-for-byte
+// through the canonical encoder. The committed seeds under
+// testdata/fuzz cover the accept path, schema rejection, and the
+// unknown-field rejection the strict decoders promise; the codecstrict
+// analyzer fails the lint if either corpus goes missing.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzReportDecode(f *testing.F) {
+	f.Add([]byte(`{"schema": "ebcp.report/v1", "tool": "ebcpsim"}`))
+	f.Add([]byte(`{"schema": "ebcp.report/v1", "tool": "ebcpexp", "runs": [{"name": "db2"}]}`))
+	f.Add([]byte(`{"schema": "ebcp.bench/v1"}`))
+	f.Add([]byte(`{"schema": "ebcp.report/v1", "zap": 1}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := DecodeReportV1(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, rep); err != nil {
+			t.Fatalf("re-encoding accepted report: %v", err)
+		}
+		again, err := DecodeReportV1(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form of accepted report does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(rep, again) {
+			t.Errorf("report changed across encode/decode round-trip")
+		}
+	})
+}
+
+func FuzzBenchDecode(f *testing.F) {
+	f.Add([]byte(`{"schema": "ebcp.bench/v1", "go_version": "go1.22", "goos": "linux", "goarch": "amd64", "num_cpu": 1, "results": []}`))
+	f.Add([]byte(`{"schema": "ebcp.bench/v1", "go_version": "go1.22", "goos": "linux", "goarch": "amd64", "num_cpu": 8, "results": [{"name": "BenchmarkSimThroughput", "procs": 8, "iters": 1, "ns_per_op": 123456.0, "metrics": {"Minsts/s": 241.9}}]}`))
+	f.Add([]byte(`{"schema": "ebcp.report/v1"}`))
+	f.Add([]byte(`{"schema": "ebcp.bench/v1", "zap": 1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := DecodeBenchV1(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, doc); err != nil {
+			t.Fatalf("re-encoding accepted baseline: %v", err)
+		}
+		again, err := DecodeBenchV1(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical form of accepted baseline does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(doc, again) {
+			t.Errorf("baseline changed across encode/decode round-trip")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -439,12 +440,29 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSONBody(w, map[string]any{"error": msg, "status": code})
 }
 
-// writeJSONBody encodes v onto w; encode errors at this point can only
-// mean a dead connection, which the caller cannot act on.
+// writeJSONBody encodes v onto w through the canonical encoder — the
+// same two-space-indent, trailing-newline byte form every other emitted
+// document uses (and the codecstrict analyzer demands). Encode errors
+// at this point can only mean a dead connection, which the caller
+// cannot act on.
 func writeJSONBody(w http.ResponseWriter, v any) {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = metrics.WriteJSON(w, v)
+}
+
+// DecodeStatsV1 strictly parses an ebcp.servestats/v1 document: unknown
+// fields and any other schema string are rejected, so monitoring
+// clients notice drift instead of reading half a document.
+func DecodeStatsV1(r io.Reader) (StatsV1, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var st StatsV1
+	if err := dec.Decode(&st); err != nil {
+		return StatsV1{}, ebcperr.Wrap(ebcperr.ErrBadReport, "serve: decoding stats: %v", err)
+	}
+	if st.Schema != StatsSchemaV1 {
+		return StatsV1{}, ebcperr.Wrap(ebcperr.ErrBadReport, "serve: unsupported stats schema %q (want %q)", st.Schema, StatsSchemaV1)
+	}
+	return st, nil
 }
 
 // Drain stops the pool gracefully: new requests are rejected with 503,

@@ -81,6 +81,7 @@ type scaleKey struct {
 }
 
 //ebcp:hotpath
+//ebcp:lanelocal
 func keyLess(a, b scaleKey) bool {
 	if a.clock != b.clock {
 		return a.clock < b.clock
@@ -134,7 +135,12 @@ type grant struct {
 // invalidation), and kinds without an address touch only the core model.
 // The probe is side-effect-free.
 //
+// The //ebcp:lanelocal annotation makes that claim machine-checked: the
+// lanepurity analyzer walks everything reachable from here and reports
+// any touch of shared simulator state (DESIGN.md §8, §9).
+//
 //ebcp:hotpath
+//ebcp:lanelocal
 func laneLocal(l *lane, rec trace.Record) bool {
 	line := amo.LineOf(rec.Addr)
 	switch rec.Kind {
